@@ -1,0 +1,87 @@
+// Command jgre-analyze runs the paper's four-step JGRE analysis pipeline
+// (§III) over the synthesized AOSP-6.0.1 corpus and prints the funnel and
+// the evaluation tables (Tables I–V).
+//
+// Usage:
+//
+//	jgre-analyze [-dynamic] [-thirdparty n] [-calls n] [-table 1..5] [-funnel]
+//
+// Without -table/-funnel flags everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-analyze: ")
+
+	dynamic := flag.Bool("dynamic", true, "run dynamic verification against a simulated device")
+	thirdParty := flag.Int("thirdparty", 1000, "size of the synthetic Google Play population (0 disables Table V)")
+	calls := flag.Int("calls", 300, "invocations per candidate during dynamic verification")
+	table := flag.Int("table", 0, "print only this table (1-5)")
+	funnelOnly := flag.Bool("funnel", false, "print only the pipeline funnel")
+	asJSON := flag.Bool("json", false, "emit the audit result as JSON")
+	flag.Parse()
+
+	if *table != 0 {
+		switch *table {
+		case 1:
+			fmt.Print(core.FormatTableI())
+		case 2:
+			fmt.Print(core.FormatTableII())
+		case 3:
+			fmt.Print(core.FormatTableIII())
+		case 4:
+			fmt.Print(core.FormatTableIV())
+		case 5:
+			fmt.Print(core.FormatTableV())
+		default:
+			log.Printf("unknown table %d (want 1-5)", *table)
+			os.Exit(2)
+		}
+		return
+	}
+
+	res, err := core.Audit(core.AuditConfig{
+		ThirdPartyApps: *thirdParty,
+		Dynamic:        *dynamic,
+		VerifyCalls:    *calls,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		out, err := core.FormatJSON(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	fmt.Print(core.FormatFunnel(res.Funnel()))
+	if *funnelOnly {
+		return
+	}
+	fmt.Println()
+	fmt.Print(core.FormatTableI())
+	fmt.Println()
+	fmt.Print(core.FormatTableII())
+	fmt.Println()
+	fmt.Print(core.FormatTableIII())
+	fmt.Println()
+	fmt.Print(core.FormatTableIV())
+	fmt.Println()
+	fmt.Print(core.FormatTableV())
+	if res.Verify != nil {
+		fmt.Println()
+		fmt.Print(core.FormatFindings(res.Verify))
+	}
+}

@@ -1,0 +1,162 @@
+// Command jgre-attack reproduces the attack-dynamics figures: Fig. 3
+// (JGR growth of the victim under attack, per interface), Fig. 5 (the
+// execution-time growth of telephony.registry.listenForSubscriber) and
+// Fig. 6 (per-interface execution-time CDFs), plus the Table II/III
+// bypass demonstrations.
+//
+// Usage:
+//
+//	jgre-attack -fig 3 [-iface service.method] [-scale quick|full]
+//	jgre-attack -fig 5 [-scale quick|full]
+//	jgre-attack -fig 6 [-scale quick|full]
+//	jgre-attack -bypass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-attack: ")
+
+	fig := flag.Int("fig", 3, "figure to reproduce (3, 5 or 6)")
+	iface := flag.String("iface", "", "restrict Fig. 3 to one interface (service.method)")
+	scaleName := flag.String("scale", "quick", "quick (reduced JGR cap / fewer calls) or full (paper parameters)")
+	bypass := flag.Bool("bypass", false, "run the Table II/III protection-bypass demonstrations instead")
+	obs2 := flag.Bool("obs2", false, "measure Observation 2 (per-interface IPC→JGR Delay + Δ) instead")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+
+	if *bypass {
+		runBypass()
+		return
+	}
+	if *obs2 {
+		runObs2(scale)
+		return
+	}
+	switch *fig {
+	case 3:
+		runFig3(scale, *iface)
+	case 5:
+		runFig5(scale)
+	case 6:
+		runFig6(scale)
+	default:
+		log.Printf("unknown figure %d (want 3, 5 or 6)", *fig)
+		os.Exit(2)
+	}
+}
+
+func runFig3(scale experiments.Scale, iface string) {
+	var only []string
+	if iface != "" {
+		only = []string{iface}
+	}
+	curves, err := experiments.Fig3AttackCurves(scale, only)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(curves, func(i, j int) bool { return curves[i].Duration < curves[j].Duration })
+	fmt.Println("Fig. 3: JGR exhaustion time per vulnerable interface (victim table growth to the cap)")
+	fmt.Printf("%-55s %12s %10s\n", "INTERFACE", "DURATION", "CALLS")
+	for _, c := range curves {
+		fmt.Printf("%-55s %12.1fs %10d\n", c.Interface, c.Duration.Seconds(), c.Calls)
+	}
+	if len(curves) > 1 {
+		fmt.Printf("\nfastest %-45s %8.1fs\n", curves[0].Interface, curves[0].Duration.Seconds())
+		last := curves[len(curves)-1]
+		fmt.Printf("slowest %-45s %8.1fs\n", last.Interface, last.Duration.Seconds())
+	}
+	if len(curves) == 1 {
+		fmt.Println()
+		fmt.Print(metrics.ASCIIChart("victim JGR table vs. attack time", 64, 16, &curves[0].Series))
+		fmt.Println("\n# t_seconds\tjgr_count")
+		fmt.Print(curves[0].Series.TSV())
+	}
+}
+
+func runFig5(scale experiments.Scale) {
+	res, err := experiments.Fig5ExecutionGrowth(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 5: execution time of telephony.registry.listenForSubscriber over %d calls\n", res.Calls)
+	fmt.Println("# call_index\texec_us")
+	step := res.Calls / 100
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.ExecTimes); i += step {
+		fmt.Printf("%d\t%d\n", i, res.ExecTimes[i].Microseconds())
+	}
+	fmt.Printf("first call %v, last call %v\n", res.ExecTimes[0], res.ExecTimes[len(res.ExecTimes)-1])
+}
+
+func runFig6(scale experiments.Scale) {
+	res, err := experiments.Fig6LatencyCDF(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 6: execution-time distributions over %d calls per vulnerable interface\n", res.CallsPer)
+	fmt.Printf("%-55s %8s %8s %8s %8s\n", "INTERFACE", "MIN_us", "P50_us", "P90_us", "MAX_us")
+	names := make([]string, 0, len(res.PerInterface))
+	for n := range res.PerInterface {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := res.PerInterface[n]
+		fmt.Printf("%-55s %8.0f %8.0f %8.0f %8.0f\n", n, s.Min, s.P50, s.P90, s.Max)
+	}
+}
+
+func runObs2(scale experiments.Scale) {
+	rows, meanDelta, err := experiments.Observation2(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Observation 2: per-interface IPC→JGR delay = Delay + Δ (paper §V)")
+	fmt.Printf("%-55s %10s %10s %10s\n", "INTERFACE", "DELAY_us", "DELTA_us", "P90_us")
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Interface < rows[j].Interface })
+	for _, r := range rows {
+		fmt.Printf("%-55s %10d %10d %10d\n", r.Interface,
+			r.Delay.Microseconds(), r.Delta.Microseconds(), r.P90.Microseconds())
+	}
+	fmt.Printf("\nfleet-wide mean Δ = %v (the paper derives 1.8 ms and uses it as the default)\n", meanDelta.Round(time.Microsecond))
+}
+
+func runBypass() {
+	rows, err := experiments.ProtectedBypass()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Protection bypass study (§IV-B/IV-C): helper guards vs. direct binder access")
+	fmt.Printf("%-50s %-18s %-15s %s\n", "INTERFACE", "PROTECTION", "HELPER BOUNDED", "DIRECT PATH")
+	still := 0
+	for _, r := range rows {
+		direct := "bounded"
+		if r.DirectUnbounded {
+			direct = "EXPLOITABLE"
+			if r.SpoofUsed {
+				direct = `EXPLOITABLE (pkg="android" spoof)`
+			}
+			still++
+		}
+		fmt.Printf("%-50s %-18s %-15v %s\n", r.Interface, r.Protection, r.HelperBounded, direct)
+	}
+	fmt.Printf("\n%d of %d protected interfaces remain exploitable\n", still, len(rows))
+}

@@ -1,0 +1,44 @@
+// Command jgre-baseline reproduces Fig. 4 and Observation 1: cycle the
+// Google-Play top-app population through foreground sessions and sample
+// system_server's JGR table size and the running-process count.
+//
+// Usage:
+//
+//	jgre-baseline [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-baseline: ")
+
+	scaleName := flag.String("scale", "quick", "quick (1 round × 30 apps) or full (3 rounds × 100 apps)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+	res, err := experiments.Fig4BenignBaseline(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 4: system_server JGR table size and running processes under the benign top-app workload")
+	fmt.Println("# t_seconds\tjgr_size\tprocesses")
+	for i, p := range res.JGR.Points {
+		fmt.Printf("%.0f\t%.0f\t%.0f\n", p.T.Seconds(), p.V, res.Processes.Points[i].V)
+	}
+	fmt.Println()
+	fmt.Print(metrics.ASCIIChart("system_server JGR table size over the benign workload", 64, 12, &res.JGR))
+	fmt.Printf("\nJGR band: [%.0f, %.0f] (paper: 1,000–3,000)\n", res.JGR.Min(), res.JGR.Max())
+	fmt.Printf("process band: [%.0f, %.0f] (paper: 382–421)\n", res.Processes.Min(), res.Processes.Max())
+	fmt.Printf("peak concurrent user apps: %d (paper: ≈39); LMK kills: %d\n", res.MaxConcurrentApps, res.LMKKills)
+}

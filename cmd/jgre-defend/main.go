@@ -1,0 +1,220 @@
+// Command jgre-defend reproduces the defense evaluation: Fig. 8 (single
+// malicious app vs. top benign app, per vulnerability), Fig. 9 (the
+// colluding-apps Δ sweep), Fig. 10 (IPC latency overhead of the defense),
+// and the §V-D1 response-delay study.
+//
+// Usage:
+//
+//	jgre-defend -fig 8|9|10 [-scale quick|full]
+//	jgre-defend -delays [-scale quick|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-defend: ")
+
+	fig := flag.Int("fig", 8, "figure to reproduce (8, 9 or 10)")
+	delays := flag.Bool("delays", false, "measure §V-D1 response delays instead")
+	multipath := flag.Bool("multipath", false, "run the §VI multi-path evasion study instead")
+	thresholds := flag.Bool("thresholds", false, "run the alarm/engage threshold ablation instead")
+	limitations := flag.Bool("limitations", false, "run the §VI covert-channel limitation study instead")
+	patch := flag.Bool("patch", false, "run the §IV-B universal per-process-quota counterfactual instead")
+	scaleName := flag.String("scale", "quick", "quick or full")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+
+	if *delays {
+		runDelays(scale)
+		return
+	}
+	if *multipath {
+		runMultiPath(scale)
+		return
+	}
+	if *thresholds {
+		runThresholds()
+		return
+	}
+	if *limitations {
+		runLimitations(scale)
+		return
+	}
+	if *patch {
+		runPatch()
+		return
+	}
+	switch *fig {
+	case 8:
+		runFig8(scale)
+	case 9:
+		runFig9(scale)
+	case 10:
+		runFig10(scale)
+	default:
+		log.Printf("unknown figure %d (want 8, 9 or 10)", *fig)
+		os.Exit(2)
+	}
+}
+
+func runFig8(scale experiments.Scale) {
+	rows, err := experiments.Fig8SingleAttacker(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 8: suspicious IPC calls, malicious app vs. top benign app")
+	fmt.Printf("%-5s %-55s %12s %12s %-8s\n", "IDX", "VULNERABILITY", "MALICIOUS", "TOP BENIGN", "STOPPED")
+	for _, r := range rows {
+		fmt.Printf("%-5d %-55s %12d %12d %-8v\n", r.Index, r.Interface, r.MaliciousScore, r.TopBenignScore, r.Killed)
+	}
+}
+
+func runFig9(scale experiments.Scale) {
+	res, err := experiments.Fig9Colluders(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 9: suspicious IPC calls of the top apps under a 4-app colluding attack")
+	fmt.Printf("colluders: %v; benign bystander: %s; recovered: %v\n", res.Colluders, res.Bystander, res.Recovered)
+	for i, delta := range res.Deltas {
+		fmt.Printf("\nΔ = %d µs:\n", delta.Microseconds())
+		for rank, s := range res.Top[i] {
+			tag := "malicious"
+			if s.Package == res.Bystander {
+				tag = "benign"
+			} else if !isColluder(res.Colluders, s.Package) {
+				tag = "benign"
+			}
+			fmt.Printf("  #%d uid %d %-22s %8d suspicious calls (%s)\n", rank+1, s.Uid, s.Package, s.Score, tag)
+		}
+	}
+}
+
+func isColluder(colluders []string, pkg string) bool {
+	for _, c := range colluders {
+		if c == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+func runFig10(scale experiments.Scale) {
+	res, err := experiments.Fig10IPCOverhead(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 10: IPC call latency vs. payload, stock vs. defense framework")
+	fmt.Println("# payload_kb\tstock_us\twith_defense_us")
+	for _, r := range res.Rows {
+		fmt.Printf("%d\t%d\t%d\n", r.PayloadKB, r.Stock.Microseconds(), r.WithDefense.Microseconds())
+	}
+	fmt.Printf("max added per call: %v; aggregate overhead: %.1f%%\n", res.MaxAdded, res.OverheadPercent)
+	var stock, defended metrics.Series
+	stock.Name = "stock"
+	defended.Name = "with defense"
+	for _, r := range res.Rows {
+		t := time.Duration(r.PayloadKB) * time.Second // x-axis: KB rendered as "s"
+		stock.Add(t, float64(r.Stock.Microseconds()))
+		defended.Add(t, float64(r.WithDefense.Microseconds()))
+	}
+	fmt.Println()
+	fmt.Print(metrics.ASCIIChart("IPC latency (µs) vs. payload (KB on x-axis)", 64, 14, &stock, &defended))
+}
+
+func runMultiPath(scale experiments.Scale) {
+	res, err := experiments.MultiPathStudy(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("§VI multi-path evasion study (%d execution paths per call)\n", res.Paths)
+	fmt.Printf("wide pairing window:  classified=%d  unclassified=%d  top benign=%d\n",
+		res.ClassifiedScore, res.UnclassifiedScore, res.TopBenignScore)
+	fmt.Printf("tight pairing window: classified=%d  unclassified=%d\n",
+		res.TightClassified, res.TightUnclassified)
+	fmt.Printf("attacker killed: %v, victim recovered: %v\n", res.AttackerKilled, res.Recovered)
+	fmt.Println("→ path smearing does not evade Algorithm 1; classification recovers full per-path attribution")
+}
+
+func runThresholds() {
+	rows, err := experiments.ThresholdAblation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("defender threshold ablation (alarm / engage)")
+	fmt.Printf("%-8s %-8s %14s %10s %12s %10s %s\n", "ALARM", "ENGAGE", "TIME-TO-ENGAGE", "PEAK JGR", "MARGIN", "RECORDS", "DEFENDED")
+	for _, r := range rows {
+		note := ""
+		if r.Alarm == 4000 && r.Engage == 12000 {
+			note = "  ← paper"
+		}
+		fmt.Printf("%-8d %-8d %13.1fs %10d %12d %10d %v%s\n",
+			r.Alarm, r.Engage, r.TimeToEngage.Seconds(), r.PeakJGR, r.Margin(), r.Records, r.Defended, note)
+	}
+}
+
+func runLimitations(scale experiments.Scale) {
+	res, err := experiments.LimitationStudy(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§VI limitation study: JGRE through a non-Binder channel (broadcast/ASHMEM)")
+	fmt.Printf("JGR monitor engaged: %v\n", res.Engaged)
+	fmt.Printf("attacker attributed by Algorithm 1: %v (no binder records exist for the channel)\n", res.AttackerScored)
+	fmt.Printf("attacker killed: %v; device rebooted: %v\n", res.AttackerKilled, res.Rebooted)
+	fmt.Println("→ the defense depends on the binder-driver evidence stream; covert channels are out of reach (paper §VI)")
+}
+
+func runPatch() {
+	rows, err := experiments.PatchStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§IV-B counterfactual: patch EVERY interface with a per-process quota")
+	fmt.Printf("%-8s %-14s %-18s %-18s %s\n", "QUOTA", "1-APP BLOCKED", "HEAVY-APP REFUSALS", "ALL REFUSALS", "COLLUDERS TO REBOOT")
+	for _, r := range rows {
+		colluders := fmt.Sprintf("%d", r.ColludersNeeded)
+		if r.ColludersNeeded == 0 {
+			colluders = ">80"
+		}
+		fmt.Printf("%-8d %-14v %-18d %-18d %s\n", r.Quota, r.SingleBlocked, r.HeavyAppRefusals, r.BenignRefusals, colluders)
+	}
+	fmt.Println("\n→ small quotas break legitimate heavy apps; large quotas fall to a handful of")
+	fmt.Println("  colluders, because every service shares system_server's one JGR table (§IV-B)")
+}
+
+func runDelays(scale experiments.Scale) {
+	rows, err := experiments.ResponseDelays(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§V-D1: response delays (attack-source identification)")
+	fmt.Printf("%-55s %12s %10s %s\n", "VULNERABILITY", "DELAY", "RECORDS", "DEFENDED")
+	over := 0
+	var worst experiments.DelayRow
+	for _, r := range rows {
+		fmt.Printf("%-55s %12v %10d %v\n", r.Interface, r.AnalysisTime.Round(time.Millisecond), r.Records, r.Defended)
+		if r.AnalysisTime > time.Second {
+			over++
+		}
+		if r.AnalysisTime > worst.AnalysisTime {
+			worst = r
+		}
+	}
+	fmt.Printf("\n%d of %d delays exceed one second; worst: %s at %v\n",
+		over, len(rows), worst.Interface, worst.AnalysisTime.Round(time.Millisecond))
+}

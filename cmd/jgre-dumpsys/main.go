@@ -1,0 +1,83 @@
+// Command jgre-dumpsys is the simulator's diagnostic tool: it boots a
+// device, optionally drives a scenario, and prints a dumpsys-style state
+// report plus any defender detections — useful for poking at the
+// simulation interactively.
+//
+// Usage:
+//
+//	jgre-dumpsys [-scenario idle|benign|attack|defended]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-dumpsys: ")
+
+	scenario := flag.String("scenario", "benign", "idle | benign | attack | defended")
+	flag.Parse()
+
+	dev, err := device.Boot(device.Config{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var def *defense.Defender
+	if *scenario == "defended" {
+		if def, err = defense.New(dev, defense.Config{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *scenario {
+	case "idle":
+		// Nothing: stock device right after boot.
+	case "benign":
+		sched := workload.NewScheduler(dev)
+		if _, err := workload.Population(dev, sched, 15, 4, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		sched.Run(func() bool { return dev.Clock().Now() > 2*time.Minute }, 200000)
+	case "attack", "defended":
+		sched := workload.NewScheduler(dev)
+		if _, err := workload.Population(dev, sched, 10, 4, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		evil, err := dev.Apps().Install("com.evil.app")
+		if err != nil {
+			log.Fatal(err)
+		}
+		atk, err := workload.NewAttacker(dev, evil, "clipboard.addPrimaryClipChangedListener")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched.Add(atk)
+		stop := func() bool {
+			if def != nil {
+				return len(def.History()) > 0
+			}
+			return dev.SoftReboots() > 0
+		}
+		sched.Run(stop, 3_000_000)
+	default:
+		log.Printf("unknown scenario %q", *scenario)
+		os.Exit(2)
+	}
+
+	dev.DumpState(os.Stdout)
+	if def != nil {
+		fmt.Println()
+		for _, det := range def.History() {
+			fmt.Print(defense.FormatDetection(det))
+		}
+	}
+}

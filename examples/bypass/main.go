@@ -1,0 +1,126 @@
+// Bypass: reproduce the paper's §IV-C — Android's shipped JGRE defenses
+// are either client-side helper quotas (trivially skipped by talking to
+// the raw binder, Code-Snippet 2) or per-process constraints (one of
+// which, enqueueToast, trusts a caller-supplied package name,
+// Code-Snippet 3).
+//
+// Run with: go run ./examples/bypass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/services"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dev, err := device.Boot(device.Config{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wifiDemo(dev)
+	fmt.Println()
+	toastDemo(dev)
+	fmt.Println()
+	inputDemo(dev)
+}
+
+// wifiDemo replays Code-Snippets 1 and 2: WifiManager's MAX_ACTIVE_LOCKS
+// guard holds for well-behaved apps, and evaporates for an app calling
+// IWifiManager directly.
+func wifiDemo(dev *device.Device) {
+	row, _ := catalog.InterfaceByName("wifi.acquireWifiLock")
+	app, err := dev.Apps().Install("com.wifi.app", "WAKE_LOCK")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := dev.NewClient(app, "wifi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := dev.Service("wifi")
+
+	fmt.Println("-- wifi.acquireWifiLock through WifiManager (Code-Snippet 1) --")
+	helper := services.NewHelper(client, row)
+	var helperErr error
+	for i := 0; i < 60; i++ {
+		if helperErr = helper.Acquire(); helperErr != nil {
+			break
+		}
+	}
+	fmt.Printf("helper stopped at %d active locks: %v\n", helper.Active(), helperErr)
+	fmt.Printf("service-side entries: %d (quota %d held)\n", svc.EntryCount(row.Method), row.GuardLimit)
+
+	fmt.Println("-- same interface via the raw binder (Code-Snippet 2) --")
+	for i := 0; i < 200; i++ {
+		if err := client.Register(row.Method); err != nil {
+			log.Fatalf("direct call %d failed: %v", i, err)
+		}
+	}
+	fmt.Printf("service-side entries now: %d — the helper guard never ran\n", svc.EntryCount(row.Method))
+	app.ForceStop("demo done")
+}
+
+// toastDemo replays Code-Snippet 3: the per-package toast quota exempts
+// "system toasts", but system-ness is judged from a spoofable string.
+func toastDemo(dev *device.Device) {
+	row, _ := catalog.InterfaceByName("notification.enqueueToast")
+	app, err := dev.Apps().Install("com.toast.app") // zero permissions
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := dev.NewClient(app, "notification")
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := dev.Service("notification")
+
+	fmt.Println("-- notification.enqueueToast with the honest package name --")
+	var quotaErr error
+	honest := 0
+	for i := 0; i < 100; i++ {
+		if quotaErr = client.Register(row.Method); quotaErr != nil {
+			break
+		}
+		honest++
+	}
+	fmt.Printf("refused after %d toasts: %v\n", honest, quotaErr)
+
+	fmt.Println(`-- now claiming pkg="android" (Code-Snippet 3) --`)
+	for i := 0; i < 300; i++ {
+		if err := client.RegisterAs(row.Method, "android", client.NewToken()); err != nil {
+			log.Fatalf("spoofed toast %d refused: %v", i, err)
+		}
+	}
+	fmt.Printf("service-side toast entries: %d — the quota never applied\n", svc.EntryCount(row.Method))
+	app.ForceStop("demo done")
+}
+
+// inputDemo shows a guard that actually works: the input service keys its
+// quota on the kernel-reported caller pid, which cannot be spoofed.
+func inputDemo(dev *device.Device) {
+	app, err := dev.Apps().Install("com.input.app")
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := dev.NewClient(app, "input")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- input.registerInputDevicesChangedListener (correct per-process guard) --")
+	ok, refused := 0, 0
+	for i := 0; i < 20; i++ {
+		if err := client.RegisterAs("registerInputDevicesChangedListener", "android", client.NewToken()); err != nil {
+			refused++
+		} else {
+			ok++
+		}
+	}
+	fmt.Printf("accepted %d, refused %d — spoofing does not help against pid-keyed quotas\n", ok, refused)
+}

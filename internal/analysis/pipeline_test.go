@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/code"
+	"repro/internal/corpus"
+	"repro/internal/device"
+)
+
+// staticResult caches the static pipeline over the full corpus (with the
+// third-party population) for the tests below.
+var staticOnce *PipelineResult
+
+func staticRun(t *testing.T) *PipelineResult {
+	t.Helper()
+	if staticOnce == nil {
+		c := corpus.Generate(corpus.Options{ThirdPartyApps: catalog.ThirdPartyScanCount})
+		staticOnce = RunStatic(c.Program, nil)
+	}
+	return staticOnce
+}
+
+func TestExtractorFindsAllRegistrations(t *testing.T) {
+	r := staticRun(t)
+	if got := r.Extract.SystemServiceCount(); got != 104 {
+		t.Errorf("registered services = %d, want 104", got)
+	}
+	if got := r.Extract.NativeServiceCount(); got != 5 {
+		t.Errorf("native services = %d, want 5 (§III-A)", got)
+	}
+}
+
+func TestExtractorFindsThousandsOfIPCMethods(t *testing.T) {
+	r := staticRun(t)
+	if got := len(r.Extract.Methods); got < 1500 {
+		t.Errorf("IPC methods = %d, want >1500 (paper: 'thousands of IPC methods')", got)
+	}
+}
+
+func TestNativeFunnelMatchesPaper(t *testing.T) {
+	r := staticRun(t)
+	s := r.Entries.NativeSummary
+	if s.TotalPaths != catalog.NativeAddPaths {
+		t.Errorf("native paths = %d, want %d", s.TotalPaths, catalog.NativeAddPaths)
+	}
+	if s.InitOnlyPaths != catalog.NativeInitOnlyPaths {
+		t.Errorf("init-only paths = %d, want %d", s.InitOnlyPaths, catalog.NativeInitOnlyPaths)
+	}
+	if s.ReachablePaths() != catalog.NativeReachablePaths {
+		t.Errorf("reachable paths = %d, want %d", s.ReachablePaths(), catalog.NativeReachablePaths)
+	}
+}
+
+func TestJavaJGREntriesIncludeTheKeyMappings(t *testing.T) {
+	r := staticRun(t)
+	for _, want := range []string{
+		"android.os.Parcel#nativeReadStrongBinder",
+		"android.os.Parcel#nativeWriteStrongBinder",
+		"android.os.BinderProxy#linkToDeathNative",
+		"java.lang.Thread#nativeCreate",
+	} {
+		if !r.Entries.JavaEntries[code.MethodID(want)] {
+			t.Errorf("Java JGR entry %s missing", want)
+		}
+	}
+	// Negative registrations must not appear.
+	if r.Entries.JavaEntries[code.MethodID("android.os.Parcel#nativeWriteInt32")] {
+		t.Error("nativeWriteInt32 wrongly marked as a JGR entry")
+	}
+}
+
+func TestSiftKeepsExactlyTheGroundTruth(t *testing.T) {
+	r := staticRun(t)
+	kept := make(map[string]bool)
+	for _, rm := range r.Sift.Kept {
+		kept[rm.IPC.FullName()] = true
+	}
+	// Every catalogued system interface must survive sifting (the
+	// statically risky set is all 57: the three well-guarded Table III
+	// rows are indistinguishable statically and fall out only in the
+	// dynamic stage).
+	for _, row := range catalog.Interfaces() {
+		if !kept[row.FullName()] {
+			t.Errorf("catalogued %s missing from kept candidates", row.FullName())
+		}
+	}
+	// No innocent method survives.
+	for name := range kept {
+		if strings.Contains(name, "unregister:") || strings.Contains(name, "getInfo") ||
+			strings.Contains(name, "getState") || strings.Contains(name, "checkAccess") ||
+			strings.Contains(name, "noteEvent") || strings.Contains(name, "startTask") ||
+			strings.Contains(name, "setSingleCallback") || strings.Contains(name, "setDeviceAdminCallback") ||
+			strings.Contains(name, "ping") || strings.Contains(name, "query") {
+			t.Errorf("innocent method %s survived sifting", name)
+		}
+	}
+}
+
+func TestSiftRuleBreakdown(t *testing.T) {
+	r := staticRun(t)
+	byRule := r.Sift.CountByRule()
+	if byRule[RuleThreadCreate] == 0 {
+		t.Error("no rule-1 (thread-create) discards")
+	}
+	if byRule[RuleLocalUse] == 0 {
+		t.Error("no rule-2 (local-use) discards")
+	}
+	if byRule[RuleReadOnly] == 0 {
+		t.Error("no rule-3 (read-only) discards")
+	}
+	if byRule[RuleMemberOverwrite] == 0 {
+		t.Error("no rule-4 (member-overwrite) discards")
+	}
+	if byRule[RulePermission] == 0 {
+		t.Error("no permission-filter discards (signature distractors missed)")
+	}
+}
+
+func TestStaticFindsThirdPartyCandidates(t *testing.T) {
+	r := staticRun(t)
+	wantMethods := map[string]bool{"setCallback": false, "registerStatusCallback": false, "a": false}
+	for _, rm := range r.Sift.Kept {
+		if rm.IPC.Source != SourceBaseClass {
+			continue
+		}
+		if _, ok := wantMethods[rm.IPC.Method.Name]; ok {
+			wantMethods[rm.IPC.Method.Name] = true
+		}
+	}
+	for m, found := range wantMethods {
+		if !found {
+			t.Errorf("third-party/app candidate %s not found", m)
+		}
+	}
+}
+
+// TestFullPipelineReproducesHeadlineNumbers is the core validation: the
+// four-step pipeline over the synthesized corpus, dynamically verified
+// against a booted device, recovers the paper's abstract numbers.
+func TestFullPipelineReproducesHeadlineNumbers(t *testing.T) {
+	c := corpus.Generate(corpus.Options{ThirdPartyApps: catalog.ThirdPartyScanCount})
+	dev, err := device.Boot(device.Config{Seed: 3, InstallThirdPartyApps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c.Program, dev, VerifyConfig{Calls: 120, GCEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Funnel()
+
+	if f.SystemServices != 104 || f.NativeServices != 5 {
+		t.Errorf("census = %d services / %d native, want 104 / 5", f.SystemServices, f.NativeServices)
+	}
+	if f.NativePaths != 147 || f.InitOnlyPaths != 67 {
+		t.Errorf("native funnel = %d/%d, want 147/67", f.NativePaths, f.InitOnlyPaths)
+	}
+
+	// Confirmed system-service findings: exactly the 54 exploitable rows.
+	var sys, app int
+	confirmed := make(map[string]bool)
+	for _, fd := range res.Verify.Confirmed {
+		confirmed[fd.FullName()] = true
+		if fd.Source == SourceServiceManager {
+			sys++
+		} else {
+			app++
+		}
+	}
+	if sys != 54 {
+		t.Errorf("confirmed system-service interfaces = %d, want 54", sys)
+	}
+	for _, row := range catalog.ExploitableInterfaces() {
+		if !confirmed[row.FullName()] {
+			t.Errorf("exploitable %s not confirmed", row.FullName())
+		}
+	}
+	if f.VulnerableServices != 32 {
+		t.Errorf("vulnerable services = %d, want 32", f.VulnerableServices)
+	}
+	// App findings: 3 prebuilt (Table IV) + 3 third-party (Table V).
+	if app != 6 {
+		t.Errorf("confirmed app interfaces = %d, want 6 (3 prebuilt + 3 third-party)", app)
+	}
+
+	// The three correctly-guarded Table III rows are rejected
+	// dynamically, with the quota as the reason.
+	wantRejected := map[string]bool{
+		"display.registerCallback":                  false,
+		"input.registerInputDevicesChangedListener": false,
+		"input.registerTabletModeChangedListener":   false,
+	}
+	for _, rej := range res.Verify.Rejected {
+		key := rej.Service + "." + rej.Method
+		if _, ok := wantRejected[key]; ok {
+			wantRejected[key] = true
+			if !strings.Contains(rej.Reason, "constraint held") {
+				t.Errorf("%s rejected for %q, want per-process constraint", key, rej.Reason)
+			}
+		}
+	}
+	for k, seen := range wantRejected {
+		if !seen {
+			t.Errorf("correctly-guarded %s was not rejected dynamically", k)
+		}
+	}
+
+	// enqueueToast must be CONFIRMED despite its guard (the "android"
+	// spoof).
+	if !confirmed["notification.enqueueToast"] {
+		t.Error("enqueueToast bypass not confirmed")
+	}
+}
+
+func TestInterfaceNameFor(t *testing.T) {
+	cases := map[string]string{
+		"clipboard":          "IClipboard",
+		"telephony.registry": "ITelephonyRegistry",
+		"bluetooth_manager":  "IBluetoothManager",
+		"tv_input":           "ITvInput",
+	}
+	for in, want := range cases {
+		if got := corpus.InterfaceNameFor(in); got != want {
+			t.Errorf("InterfaceNameFor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/code"
+)
+
+// SiftRule identifies which §III-C3 rule (or the permission filter)
+// discarded a risky method.
+type SiftRule int
+
+const (
+	// RuleThreadCreate: only Thread.nativeCreate is involved; its native
+	// side releases the JGR immediately (rule 1).
+	RuleThreadCreate SiftRule = iota + 1
+	// RuleLocalUse: the binder never escapes the method; GC collects it
+	// (rule 2).
+	RuleLocalUse
+	// RuleReadOnly: the binder only keys read-only container lookups
+	// (rule 3).
+	RuleReadOnly
+	// RuleMemberOverwrite: a single member field holds the binder; each
+	// call revokes the previous one (rule 4).
+	RuleMemberOverwrite
+	// RulePermission: the interface demands a permission a third-party
+	// app cannot obtain (the PScout-map filter).
+	RulePermission
+)
+
+// String names the rule.
+func (r SiftRule) String() string {
+	switch r {
+	case RuleThreadCreate:
+		return "rule1-thread-create"
+	case RuleLocalUse:
+		return "rule2-local-use"
+	case RuleReadOnly:
+		return "rule3-read-only"
+	case RuleMemberOverwrite:
+		return "rule4-member-overwrite"
+	case RulePermission:
+		return "permission-unobtainable"
+	default:
+		return fmt.Sprintf("SiftRule(%d)", int(r))
+	}
+}
+
+// SiftedMethod is a discarded risky method with its reason.
+type SiftedMethod struct {
+	Risky RiskyMethod
+	Rule  SiftRule
+}
+
+// SiftResult splits the detector's output into kept candidates and
+// discarded methods.
+type SiftResult struct {
+	Kept   []RiskyMethod
+	Sifted []SiftedMethod
+}
+
+// CountByRule tallies the discards.
+func (r SiftResult) CountByRule() map[SiftRule]int {
+	out := make(map[SiftRule]int)
+	for _, s := range r.Sifted {
+		out[s.Rule]++
+	}
+	return out
+}
+
+// Sift runs step 3b: apply the four innocence rules, then drop candidates
+// whose required permission a third-party app cannot obtain. obtainable
+// reports whether an app can acquire the named permission (the catalog's
+// permission-level policy in practice).
+func Sift(p *code.Program, risky []RiskyMethod, obtainable func(perm string) bool) SiftResult {
+	var res SiftResult
+	for _, rm := range risky {
+		if rule, sifted := classify(p, rm); sifted {
+			res.Sifted = append(res.Sifted, SiftedMethod{Risky: rm, Rule: rule})
+			continue
+		}
+		if perm := p.PermissionMap[rm.IPC.Method.ID]; perm != "" && !obtainable(perm) {
+			res.Sifted = append(res.Sifted, SiftedMethod{Risky: rm, Rule: RulePermission})
+			continue
+		}
+		res.Kept = append(res.Kept, rm)
+	}
+	return res
+}
+
+// classify applies rules 1–4 to one risky method.
+func classify(p *code.Program, rm RiskyMethod) (SiftRule, bool) {
+	m := rm.IPC.Method
+
+	// Rule 1: the only JGR involvement is thread creation and no binder
+	// is transmitted.
+	if rm.Reasons == RiskCallGraph && len(rm.BinderParams) == 0 {
+		allThread := true
+		for _, id := range rm.EntriesReached {
+			if !strings.HasSuffix(string(id), "#nativeCreate") {
+				allThread = false
+				break
+			}
+		}
+		if allThread {
+			return RuleThreadCreate, true
+		}
+		// Reaches a retaining JGR entry (e.g. linkToDeath) without a
+		// binder parameter: keep it.
+		return 0, false
+	}
+
+	// Rules 2–4 judge what the method does with its binder parameters.
+	worst := code.SinkNone
+	found := false
+	for _, idx := range rm.BinderParams {
+		for _, f := range m.Flows {
+			if f.Param != idx {
+				continue
+			}
+			found = true
+			if sinkRank(f.Sink) > sinkRank(worst) {
+				worst = f.Sink
+			}
+		}
+	}
+	if !found {
+		// No recorded flow: the binder never escapes (rule 2).
+		return RuleLocalUse, true
+	}
+	switch worst {
+	case code.SinkCollection:
+		return 0, false // the vulnerable pattern — keep
+	case code.SinkMemberField:
+		return RuleMemberOverwrite, true
+	case code.SinkReadOnlyQuery:
+		return RuleReadOnly, true
+	case code.SinkThread:
+		return RuleThreadCreate, true
+	default:
+		return RuleLocalUse, true
+	}
+}
+
+// sinkRank orders sinks by how strongly they retain the binder.
+func sinkRank(s code.SinkKind) int {
+	switch s {
+	case code.SinkNone:
+		return 0
+	case code.SinkThread:
+		return 1
+	case code.SinkReadOnlyQuery:
+		return 2
+	case code.SinkMemberField:
+		return 3
+	case code.SinkCollection:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// FormatSiftReport renders the sifter's discards grouped by rule, with a
+// few example methods per rule — the §III-C3 audit trail.
+func FormatSiftReport(res SiftResult) string {
+	byRule := make(map[SiftRule][]string)
+	for _, s := range res.Sifted {
+		byRule[s.Rule] = append(byRule[s.Rule], s.Risky.IPC.FullName())
+	}
+	out := fmt.Sprintf("risky-IPC sifter: %d kept, %d discarded\n", len(res.Kept), len(res.Sifted))
+	for _, rule := range []SiftRule{RuleThreadCreate, RuleLocalUse, RuleReadOnly, RuleMemberOverwrite, RulePermission} {
+		names := byRule[rule]
+		if len(names) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-26s %5d", rule, len(names))
+		sort.Strings(names)
+		for i, n := range names {
+			if i == 3 {
+				out += " ..."
+				break
+			}
+			if i == 0 {
+				out += "  e.g. "
+			} else {
+				out += ", "
+			}
+			out += n
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/code"
+	"repro/internal/corpus"
+)
+
+// tinyProgram builds a minimal hand-rolled program exercising each
+// extractor/detector/sifter rule in isolation (the corpus tests cover the
+// full-scale behaviour).
+func tinyProgram() *code.Program {
+	p := code.NewProgram()
+
+	// Native layer: one exploitable path, one init-only path, one JNI
+	// entry without a path.
+	p.AddNative(&code.NativeFunc{Name: corpus.AddTarget})
+	p.AddNative(&code.NativeFunc{Name: "jni_link", JNIEntry: true, Calls: []string{corpus.AddTarget}})
+	p.AddNative(&code.NativeFunc{Name: "jni_thread", JNIEntry: true, Calls: []string{corpus.AddTarget}})
+	p.AddNative(&code.NativeFunc{Name: "CacheClass", InitOnly: true, Calls: []string{corpus.AddTarget}})
+	p.AddNative(&code.NativeFunc{Name: "jni_plain", JNIEntry: true})
+	p.JNI = []code.JNIRegistration{
+		{JavaClass: "android.os.BinderProxy", JavaMethod: "linkToDeathNative", NativeFunc: "jni_link"},
+		{JavaClass: "java.lang.Thread", JavaMethod: "nativeCreate", NativeFunc: "jni_thread"},
+		{JavaClass: "android.os.Parcel", JavaMethod: "nativeWriteInt32", NativeFunc: "jni_plain"},
+	}
+
+	// Framework shims.
+	p.AddClass(&code.Class{Name: "android.os.ServiceManager", Methods: []*code.Method{
+		{ID: "android.os.ServiceManager#addService", Class: "android.os.ServiceManager", Name: "addService"},
+	}})
+	p.AddClass(&code.Class{Name: "android.os.BinderProxy", Methods: []*code.Method{
+		{ID: "android.os.BinderProxy#linkToDeathNative", Class: "android.os.BinderProxy", Name: "linkToDeathNative", NativeDecl: true},
+	}})
+	p.AddClass(&code.Class{Name: "java.lang.Thread", Methods: []*code.Method{
+		{ID: "java.lang.Thread#nativeCreate", Class: "java.lang.Thread", Name: "nativeCreate", NativeDecl: true},
+		{ID: "java.lang.Thread#start", Class: "java.lang.Thread", Name: "start",
+			Calls: []code.CallSite{{Callee: "java.lang.Thread#nativeCreate"}}},
+	}})
+
+	// One registered service with one method per rule.
+	p.AddInterface(&code.Interface{Name: "IDemo", Methods: []string{
+		"vuln", "threadOnly", "localUse", "readOnly", "member", "plain", "listVuln", "listPlain", "sigGated",
+	}})
+	mk := func(name string, params []code.ParamType, flows []code.BinderFlow, calls ...code.CallSite) *code.Method {
+		return &code.Method{
+			ID: code.MakeMethodID("DemoService", name), Class: "DemoService", Name: name,
+			Params: params, Flows: flows, Calls: calls,
+		}
+	}
+	binderParam := []code.ParamType{code.ParamOther, code.ParamBinder}
+	p.AddClass(&code.Class{Name: "DemoService", Implements: []string{"IDemo"}, Methods: []*code.Method{
+		mk("vuln", binderParam, []code.BinderFlow{{Param: 1, Sink: code.SinkCollection}}),
+		mk("threadOnly", []code.ParamType{code.ParamOther}, nil,
+			code.CallSite{Callee: "java.lang.Thread#start"}),
+		mk("localUse", binderParam, []code.BinderFlow{{Param: 1, Sink: code.SinkNone}}),
+		mk("readOnly", binderParam, []code.BinderFlow{{Param: 1, Sink: code.SinkReadOnlyQuery}}),
+		mk("member", binderParam, []code.BinderFlow{{Param: 1, Sink: code.SinkMemberField}}),
+		mk("plain", []code.ParamType{code.ParamOther}, nil),
+		mk("listVuln", []code.ParamType{code.ParamList}, []code.BinderFlow{{Param: 0, Sink: code.SinkCollection}}),
+		mk("listPlain", []code.ParamType{code.ParamList}, nil),
+		mk("sigGated", binderParam, []code.BinderFlow{{Param: 1, Sink: code.SinkCollection}}),
+	}})
+	p.ListCarriesBinder[code.MakeMethodID("DemoService", "listVuln")] = true
+	// listPlain's List stays unannotated: the manual check said "no
+	// binders inside".
+	p.PermissionMap[code.MakeMethodID("DemoService", "sigGated")] = "SIGNATURE_ONLY"
+
+	p.AddClass(&code.Class{Name: "Boot", Methods: []*code.Method{
+		{ID: "Boot#main", Class: "Boot", Name: "main", Calls: []code.CallSite{
+			{Callee: corpus.ServiceManagerAdd, StringArg: "demo", ClassArg: "DemoService"},
+		}},
+	}})
+	return p
+}
+
+func TestTinyExtract(t *testing.T) {
+	p := tinyProgram()
+	res := ExtractIPCMethods(p)
+	if res.SystemServiceCount() != 1 {
+		t.Fatalf("services = %d", res.SystemServiceCount())
+	}
+	if len(res.Methods) != 9 {
+		t.Fatalf("IPC methods = %d, want 9", len(res.Methods))
+	}
+	for _, m := range res.Methods {
+		if m.Service != "demo" || m.Source != SourceServiceManager {
+			t.Fatalf("method = %+v", m)
+		}
+	}
+}
+
+func TestTinyJGREntries(t *testing.T) {
+	p := tinyProgram()
+	e := ExtractJGREntries(p)
+	if e.NativeSummary.TotalPaths != 3 || e.NativeSummary.InitOnlyPaths != 1 {
+		t.Fatalf("summary = %+v", e.NativeSummary)
+	}
+	if !e.JavaEntries["android.os.BinderProxy#linkToDeathNative"] {
+		t.Error("linkToDeathNative missing")
+	}
+	if !e.JavaEntries["java.lang.Thread#nativeCreate"] {
+		t.Error("nativeCreate missing")
+	}
+	if e.JavaEntries["android.os.Parcel#nativeWriteInt32"] {
+		t.Error("pathless JNI method marked as entry")
+	}
+}
+
+func TestTinyDetectAndSift(t *testing.T) {
+	p := tinyProgram()
+	ex := ExtractIPCMethods(p)
+	entries := ExtractJGREntries(p)
+	risky := DetectRisky(p, ex.Methods, entries)
+
+	// plain and listPlain are not risky at all.
+	riskyNames := make(map[string]RiskyMethod)
+	for _, rm := range risky {
+		riskyNames[rm.IPC.Method.Name] = rm
+	}
+	if len(risky) != 7 {
+		t.Fatalf("risky = %d (%v), want 7", len(risky), riskyNames)
+	}
+	for _, absent := range []string{"plain", "listPlain"} {
+		if _, ok := riskyNames[absent]; ok {
+			t.Errorf("%s wrongly detected as risky", absent)
+		}
+	}
+	if rm := riskyNames["threadOnly"]; rm.Reasons != RiskCallGraph {
+		t.Errorf("threadOnly reasons = %v", rm.Reasons)
+	}
+	if rm := riskyNames["vuln"]; rm.Reasons&RiskBinderParam == 0 {
+		t.Errorf("vuln reasons = %v", rm.Reasons)
+	}
+	if rm := riskyNames["sigGated"]; rm.Permission != "SIGNATURE_ONLY" {
+		t.Errorf("sigGated permission = %q", rm.Permission)
+	}
+
+	sift := Sift(p, risky, func(perm string) bool { return perm != "SIGNATURE_ONLY" })
+	kept := make(map[string]bool)
+	for _, rm := range sift.Kept {
+		kept[rm.IPC.Method.Name] = true
+	}
+	if len(kept) != 2 || !kept["vuln"] || !kept["listVuln"] {
+		t.Fatalf("kept = %v, want {vuln, listVuln}", kept)
+	}
+	byRule := sift.CountByRule()
+	wantRules := map[SiftRule]int{
+		RuleThreadCreate:    1,
+		RuleLocalUse:        1,
+		RuleReadOnly:        1,
+		RuleMemberOverwrite: 1,
+		RulePermission:      1,
+	}
+	for rule, want := range wantRules {
+		if byRule[rule] != want {
+			t.Errorf("rule %v discards = %d, want %d", rule, byRule[rule], want)
+		}
+	}
+}
+
+func TestSiftRuleStrings(t *testing.T) {
+	for rule, want := range map[SiftRule]string{
+		RuleThreadCreate:    "rule1-thread-create",
+		RuleLocalUse:        "rule2-local-use",
+		RuleReadOnly:        "rule3-read-only",
+		RuleMemberOverwrite: "rule4-member-overwrite",
+		RulePermission:      "permission-unobtainable",
+	} {
+		if got := rule.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(rule), got, want)
+		}
+	}
+}
+
+func TestIPCSourceString(t *testing.T) {
+	if SourceServiceManager.String() != "servicemanager" || SourceBaseClass.String() != "base-class" {
+		t.Fatal("IPCSource strings wrong")
+	}
+	if IPCSource(0).String() != "unknown" {
+		t.Fatal("zero IPCSource string wrong")
+	}
+}
+
+func TestIsParcelBinderEntry(t *testing.T) {
+	if !IsParcelBinderEntry("android.os.Parcel#nativeReadStrongBinder") ||
+		!IsParcelBinderEntry("android.os.Parcel#nativeWriteStrongBinder") {
+		t.Fatal("parcel entries not recognized")
+	}
+	if IsParcelBinderEntry("java.lang.Thread#nativeCreate") {
+		t.Fatal("thread entry misclassified")
+	}
+}
+
+func TestFormatSiftReport(t *testing.T) {
+	p := tinyProgram()
+	ex := ExtractIPCMethods(p)
+	entries := ExtractJGREntries(p)
+	risky := DetectRisky(p, ex.Methods, entries)
+	res := Sift(p, risky, func(perm string) bool { return perm != "SIGNATURE_ONLY" })
+	out := FormatSiftReport(res)
+	for _, want := range []string{"2 kept, 5 discarded", "rule1-thread-create", "permission-unobtainable", "demo.threadOnly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

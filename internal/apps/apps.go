@@ -1,0 +1,377 @@
+// Package apps models Android applications: installed packages with their
+// own uid and process, permission grants, and — for the paper's Tables IV
+// and V — apps that themselves expose vulnerable IPC interfaces (prebuilt
+// core apps like Bluetooth and PicoTts, whose services extend framework
+// base classes such as android.speech.tts.TextToSpeechService, and
+// vulnerable third-party apps found on Google Play).
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/catalog"
+	"repro/internal/kernel"
+	"repro/internal/permissions"
+	"repro/internal/simclock"
+)
+
+// FirstInstalledUid is the uid of the first installed app. The paper's
+// Fig. 9 experiment shows colluding apps with uids 10059–10065; starting
+// the installer here makes the reproduction's uids line up.
+const FirstInstalledUid kernel.Uid = 10059
+
+// App is one installed application.
+type App struct {
+	pkg  string
+	uid  kernel.Uid
+	proc *kernel.Process
+	mgr  *Manager
+}
+
+// Package returns the app's package name.
+func (a *App) Package() string { return a.pkg }
+
+// Uid returns the app's uid.
+func (a *App) Uid() kernel.Uid { return a.uid }
+
+// Proc returns the app's current process (nil if not running).
+func (a *App) Proc() *kernel.Process {
+	if a.proc != nil && a.proc.Alive() {
+		return a.proc
+	}
+	return nil
+}
+
+// Running reports whether the app has a live process.
+func (a *App) Running() bool { return a.Proc() != nil }
+
+// Start (re)launches the app's process if needed and returns it. Apps are
+// restartable after LMK kills, defender force-stops, or soft reboots.
+func (a *App) Start() *kernel.Process {
+	if p := a.Proc(); p != nil {
+		return p
+	}
+	a.proc = a.mgr.k.Spawn(kernel.SpawnConfig{
+		Name:        a.pkg,
+		Uid:         a.uid,
+		OomScoreAdj: kernel.ForegroundAppAdj,
+	})
+	return a.proc
+}
+
+// SetBackground moves the app to a cached LMK priority, as pressing HOME
+// does in the paper's MonkeyRunner workload.
+func (a *App) SetBackground() {
+	if p := a.Proc(); p != nil {
+		p.SetOomScoreAdj(kernel.CachedAppMinAdj)
+	}
+}
+
+// SetForeground gives the app foreground priority.
+func (a *App) SetForeground() {
+	if p := a.Proc(); p != nil {
+		p.SetOomScoreAdj(kernel.ForegroundAppAdj)
+	}
+}
+
+// ForceStop kills the app's process — the "am force-stop" the JGRE
+// Defender issues against top-ranked suspects (paper §V-B).
+func (a *App) ForceStop(reason string) {
+	if p := a.Proc(); p != nil {
+		a.mgr.k.Kill(p.Pid(), reason)
+	}
+}
+
+// Manager installs apps and tracks them by uid and package.
+type Manager struct {
+	k       *kernel.Kernel
+	perms   *permissions.Manager
+	nextUid kernel.Uid
+	byPkg   map[string]*App
+	byUid   map[kernel.Uid]*App
+}
+
+// NewManager creates an installer.
+func NewManager(k *kernel.Kernel, perms *permissions.Manager) *Manager {
+	return &Manager{
+		k:       k,
+		perms:   perms,
+		nextUid: FirstInstalledUid,
+		byPkg:   make(map[string]*App),
+		byUid:   make(map[kernel.Uid]*App),
+	}
+}
+
+// ErrAlreadyInstalled reports a duplicate package install.
+var ErrAlreadyInstalled = errors.New("apps: package already installed")
+
+// Install registers a package, assigns it the next uid, and grants the
+// requested permissions (normal ones silently, dangerous ones as if the
+// user approved — the paper's attacker model allows both levels).
+func (m *Manager) Install(pkg string, wants ...permissions.Permission) (*App, error) {
+	if pkg == "" {
+		return nil, errors.New("apps: empty package name")
+	}
+	if _, ok := m.byPkg[pkg]; ok {
+		return nil, fmt.Errorf("install %s: %w", pkg, ErrAlreadyInstalled)
+	}
+	a := &App{pkg: pkg, uid: m.nextUid, mgr: m}
+	m.nextUid++
+	for _, p := range wants {
+		if err := m.perms.Grant(a.uid, p); err != nil {
+			return nil, fmt.Errorf("install %s: %w", pkg, err)
+		}
+	}
+	m.byPkg[pkg] = a
+	m.byUid[a.uid] = a
+	return a, nil
+}
+
+// ByPackage returns the installed app, or nil.
+func (m *Manager) ByPackage(pkg string) *App { return m.byPkg[pkg] }
+
+// ByUid returns the installed app owning uid, or nil.
+func (m *Manager) ByUid(uid kernel.Uid) *App { return m.byUid[uid] }
+
+// Installed returns all installed apps sorted by uid.
+func (m *Manager) Installed() []*App {
+	out := make([]*App, 0, len(m.byPkg))
+	for _, a := range m.byPkg {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].uid < out[j].uid })
+	return out
+}
+
+// ServiceRegistry resolves app-exported services, standing in for the
+// bindService/intent-resolution path through which third-party apps reach
+// a prebuilt app's IPC interfaces (e.g. ITextToSpeechService).
+type ServiceRegistry struct {
+	driver *binder.Driver
+	byName map[string]*binder.LocalBinder
+}
+
+// NewServiceRegistry creates an empty registry.
+func NewServiceRegistry(d *binder.Driver) *ServiceRegistry {
+	return &ServiceRegistry{driver: d, byName: make(map[string]*binder.LocalBinder)}
+}
+
+// Publish exports an app service binder under "pkg/Class".
+func (r *ServiceRegistry) Publish(name string, b *binder.LocalBinder) error {
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("apps: service %q already published", name)
+	}
+	r.byName[name] = b
+	return nil
+}
+
+// Bind returns client's proxy on the named app service.
+func (r *ServiceRegistry) Bind(name string, client *kernel.Process) (*binder.BinderRef, error) {
+	b, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: no service %q", name)
+	}
+	if !b.IsAlive() {
+		return nil, binder.ErrDeadObject
+	}
+	return r.driver.Materialize(client, b)
+}
+
+// Names lists published services, sorted.
+func (r *ServiceRegistry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unpublish removes a registration (on app death/reinstall).
+func (r *ServiceRegistry) Unpublish(name string) { delete(r.byName, name) }
+
+// AppService is an IPC service exported by an app. Its vulnerable methods
+// come from the catalog's Table IV/V rows; like
+// TextToSpeechService.setCallback, each call retains the caller's binder
+// until the *calling* app exits.
+type AppService struct {
+	owner *App
+	clock *simclock.Clock
+	rng   *rand.Rand
+
+	stub    *binder.LocalBinder
+	methods map[binder.TxCode]catalog.AppInterface
+	codes   map[string]binder.TxCode
+	entries map[string][]*appEntry
+	calls   uint64
+}
+
+type appEntry struct {
+	ref  *binder.BinderRef
+	link *binder.DeathLink
+	pid  kernel.Pid
+}
+
+// AppServiceName returns the registry name an app interface is published
+// under.
+func AppServiceName(ai catalog.AppInterface) string {
+	return ai.Package + "/" + serviceClassOf(ai.Method)
+}
+
+// serviceClassOf extracts "PicoService" from "PicoService.setCallback()".
+func serviceClassOf(method string) string {
+	for i := 0; i < len(method); i++ {
+		if method[i] == '.' {
+			return method[:i]
+		}
+	}
+	return method
+}
+
+// methodNameOf extracts "setCallback" from "PicoService.setCallback()".
+func methodNameOf(method string) string {
+	name := method
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			name = name[i+1:]
+			break
+		}
+	}
+	if n := len(name); n >= 2 && name[n-2] == '(' && name[n-1] == ')' {
+		name = name[:n-2]
+	}
+	return name
+}
+
+// NewAppService builds and publishes one app service exposing the given
+// catalogued rows (all rows must share the same Package and class).
+func NewAppService(owner *App, d *binder.Driver, clock *simclock.Clock, reg *ServiceRegistry, rows []catalog.AppInterface, seed int64) (*AppService, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("apps: service needs at least one interface row")
+	}
+	proc := owner.Start()
+	s := &AppService{
+		owner:   owner,
+		clock:   clock,
+		rng:     rand.New(rand.NewSource(seed ^ int64(len(rows)))),
+		methods: make(map[binder.TxCode]catalog.AppInterface),
+		codes:   make(map[string]binder.TxCode),
+		entries: make(map[string][]*appEntry),
+	}
+	var names []string
+	byName := make(map[string]catalog.AppInterface)
+	for _, r := range rows {
+		n := methodNameOf(r.Method)
+		byName[n] = r
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		code := binder.TxCode(i + 1)
+		s.methods[code] = byName[n]
+		s.codes[n] = code
+	}
+	s.stub = d.NewLocalBinder(proc, serviceClassOf(rows[0].Method), binder.TransactorFunc(s.onTransact))
+	if err := reg.Publish(AppServiceName(rows[0]), s.stub); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Owner returns the exporting app.
+func (s *AppService) Owner() *App { return s.owner }
+
+// Stub returns the service's local binder.
+func (s *AppService) Stub() *binder.LocalBinder { return s.stub }
+
+// Code resolves a short method name ("setCallback").
+func (s *AppService) Code(method string) (binder.TxCode, bool) {
+	c, ok := s.codes[method]
+	return c, ok
+}
+
+// MethodName resolves a code back to the short method name.
+func (s *AppService) MethodName(code binder.TxCode) (string, bool) {
+	ai, ok := s.methods[code]
+	if !ok {
+		return "", false
+	}
+	return methodNameOf(ai.Method), true
+}
+
+// EntryCount returns retained registrations for a short method name.
+func (s *AppService) EntryCount(method string) int { return len(s.entries[method]) }
+
+func (s *AppService) onTransact(call *binder.Call) error {
+	ai, ok := s.methods[call.Code]
+	if !ok {
+		return fmt.Errorf("apps: %s: unknown code %d", s.stub.Class(), call.Code)
+	}
+	s.calls++
+	jitter := time.Duration(s.rng.Int63n(int64(ai.Cost.Jitter) + 1))
+	s.clock.Advance(ai.Cost.ExecBase/2 + jitter)
+	ref, err := call.Data.ReadStrongBinder()
+	if err != nil {
+		return err
+	}
+	if ref == nil {
+		s.clock.Advance(ai.Cost.ExecBase / 2)
+		return nil
+	}
+	// The default base-class implementation retains the callback for the
+	// life of the calling app (paper §IV-D: "all the JGR entries can be
+	// revoked only when the requesting third-party app exits").
+	ref.Retain()
+	name := methodNameOf(ai.Method)
+	e := &appEntry{ref: ref, pid: call.SenderPid}
+	if link, lerr := ref.Binder().LinkToDeath(func() { s.drop(name, e) }); lerr == nil {
+		e.link = link
+	}
+	s.entries[name] = append(s.entries[name], e)
+	s.clock.Advance(ai.Cost.ExecBase / 2)
+	call.Reply.WriteInt32(0)
+	return nil
+}
+
+func (s *AppService) drop(method string, e *appEntry) {
+	es := s.entries[method]
+	for i, cur := range es {
+		if cur == e {
+			s.entries[method] = append(es[:i], es[i+1:]...)
+			break
+		}
+	}
+	if e.link != nil {
+		e.link.Unlink()
+	}
+	e.ref.Release()
+}
+
+// InstallWithUid registers a package under a fixed uid — used for prebuilt
+// core apps, which own reserved uids (e.g. Bluetooth's AID_BLUETOOTH) and
+// must not consume the sequential third-party uid space.
+func (m *Manager) InstallWithUid(pkg string, uid kernel.Uid, wants ...permissions.Permission) (*App, error) {
+	if pkg == "" {
+		return nil, errors.New("apps: empty package name")
+	}
+	if _, ok := m.byPkg[pkg]; ok {
+		return nil, fmt.Errorf("install %s: %w", pkg, ErrAlreadyInstalled)
+	}
+	if _, ok := m.byUid[uid]; ok {
+		return nil, fmt.Errorf("install %s: uid %d already taken", pkg, uid)
+	}
+	a := &App{pkg: pkg, uid: uid, mgr: m}
+	for _, p := range wants {
+		if err := m.perms.Grant(a.uid, p); err != nil {
+			return nil, fmt.Errorf("install %s: %w", pkg, err)
+		}
+	}
+	m.byPkg[pkg] = a
+	m.byUid[a.uid] = a
+	return a, nil
+}

@@ -1,0 +1,491 @@
+// Package art simulates the Android Runtime's JNI reference machinery: the
+// per-process indirect reference tables for local, global and weak-global
+// references, the hard 51,200-entry cap on JNI global references (JGR), and
+// the runtime abort that a table overflow triggers.
+//
+// This is the substrate of the paper's attack: every Android process runs
+// its own runtime with its own JGR table, and when a victim process is made
+// to exceed MaxGlobalRefs entries, its runtime aborts
+// (art/runtime/java_vm_ext.cc in AOSP 6.0.1). Because most system services
+// run as threads of system_server and share a single table, one vulnerable
+// IPC interface can take down the whole system (paper §II-A).
+package art
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// MaxGlobalRefs is the hard upper bound on JNI global references per
+// runtime, matching the constant hard-coded in AOSP 6.0.1's
+// art/runtime/java_vm_ext.cc (paper §I, §II-A).
+const MaxGlobalRefs = 51200
+
+// DefaultMaxWeakGlobalRefs mirrors ART's weak-global table capacity.
+const DefaultMaxWeakGlobalRefs = 51200
+
+// DefaultGCTrigger is how many collectable global references may pile up
+// before the runtime garbage-collects on its own, approximating ART's
+// heap-pressure-driven GC. Without it, unretained binder proxies would
+// accumulate between explicit GC cycles forever.
+const DefaultGCTrigger = 512
+
+// DefaultMaxLocalRefs is the per-frame local reference budget. ART's local
+// table is growable, but well-behaved native code stays within 512 entries
+// per JNI frame; we enforce that to catch simulator bugs.
+const DefaultMaxLocalRefs = 8192
+
+// RefKind distinguishes the three JNI indirect reference kinds.
+type RefKind int
+
+// Reference kinds. Values start at one so the zero value is invalid
+// (an uninitialized RefKind is a bug, not a local reference).
+const (
+	KindLocal RefKind = iota + 1
+	KindGlobal
+	KindWeakGlobal
+)
+
+// String returns the JNI name of the kind.
+func (k RefKind) String() string {
+	switch k {
+	case KindLocal:
+		return "local"
+	case KindGlobal:
+		return "global"
+	case KindWeakGlobal:
+		return "weak-global"
+	default:
+		return fmt.Sprintf("RefKind(%d)", int(k))
+	}
+}
+
+// ObjectID uniquely identifies a simulated Java object within a device.
+type ObjectID uint64
+
+// Object is a simulated Java heap object. Objects are created by the
+// binder layer (binder proxies, listener records) and by services.
+type Object struct {
+	ID    ObjectID
+	Class string
+}
+
+// IndirectRef is an opaque handle into one of a runtime's reference
+// tables, as returned to "native code". The top bits encode the kind so
+// that a ref can never be deleted from the wrong table.
+type IndirectRef uint64
+
+const refKindShift = 62
+
+// Kind extracts the table kind encoded in the reference.
+func (r IndirectRef) Kind() RefKind { return RefKind(r >> refKindShift) }
+
+func makeRef(kind RefKind, serial uint64) IndirectRef {
+	return IndirectRef(uint64(kind)<<refKindShift | serial)
+}
+
+// RefOp is the operation recorded in a JGREvent.
+type RefOp int
+
+// Operations observable through JGR hooks.
+const (
+	OpAdd RefOp = iota + 1
+	OpRemove
+)
+
+// String returns "add" or "remove".
+func (op RefOp) String() string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("RefOp(%d)", int(op))
+	}
+}
+
+// JGREvent describes one mutation of the global reference table. The
+// defense's runtime extension (paper §V-B) consumes these events.
+type JGREvent struct {
+	Time  time.Duration // virtual time of the operation
+	Op    RefOp
+	Ref   IndirectRef
+	Obj   ObjectID
+	Count int // table size immediately after the operation
+}
+
+// JGRHook observes global reference table mutations.
+type JGRHook func(JGREvent)
+
+// ErrRuntimeAborted is returned by table operations after the runtime has
+// aborted.
+var ErrRuntimeAborted = errors.New("art: runtime has aborted")
+
+// OverflowError reports an indirect reference table overflow; for the
+// global table this is the JGRE condition itself.
+type OverflowError struct {
+	Process string
+	Kind    RefKind
+	Max     int
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("art: %s reference table overflow in %q (max=%d)", e.Kind, e.Process, e.Max)
+}
+
+// StaleRefError reports a delete of a reference that is not in the table.
+type StaleRefError struct {
+	Ref IndirectRef
+}
+
+func (e *StaleRefError) Error() string {
+	return fmt.Sprintf("art: use of stale or foreign %s reference %#x", e.Ref.Kind(), uint64(e.Ref))
+}
+
+// refEntry is one slot of an indirect reference table.
+type refEntry struct {
+	obj     ObjectID
+	addedAt time.Duration
+	// collectable marks an entry whose referent became unreachable from
+	// managed code; the next GC cycle frees the entry. This models
+	// references dropped by garbage collection rather than by an explicit
+	// DeleteGlobalRef (sift rules 2 and 3, paper §III-C3).
+	collectable bool
+}
+
+// table is a single indirect reference table.
+type table struct {
+	kind    RefKind
+	max     int
+	serial  uint64
+	entries map[IndirectRef]*refEntry
+}
+
+func newTable(kind RefKind, max int) *table {
+	return &table{kind: kind, max: max, entries: make(map[IndirectRef]*refEntry)}
+}
+
+// Config parameterizes a VM. The zero value selects the AOSP 6.0.1
+// defaults for every field.
+type Config struct {
+	// MaxGlobalRefs overrides the global table capacity; 0 means
+	// MaxGlobalRefs (51,200). Tests use small caps to exercise overflow
+	// quickly.
+	MaxGlobalRefs int
+	// MaxWeakGlobalRefs overrides the weak-global capacity; 0 means
+	// DefaultMaxWeakGlobalRefs.
+	MaxWeakGlobalRefs int
+	// GCTrigger overrides the collectable-entry count that starts an
+	// automatic GC cycle; 0 means DefaultGCTrigger, negative disables
+	// automatic collection (tests that count entries exactly).
+	GCTrigger int
+	// OnAbort, if non-nil, is invoked exactly once when the runtime
+	// aborts, with a human-readable reason. The kernel layer uses this to
+	// reap the owning process (and soft-reboot if it is system_server).
+	OnAbort func(reason string)
+}
+
+// VM is one process's Android runtime. Each simulated process owns exactly
+// one VM (paper §II-A: "each process has its own dedicated Android runtime
+// along with individual runtime resource management").
+//
+// VM is not safe for concurrent use; the simulation core is
+// single-threaded for determinism.
+type VM struct {
+	process string
+	clock   *simclock.Clock
+
+	globals *table
+	weaks   *table
+	frames  []*table // local reference frame stack
+
+	hooks         []JGRHook
+	collectable   int
+	gcTrigger     int
+	aborted       bool
+	abortedReason string
+	onAbort       func(reason string)
+
+	// statistics
+	totalGlobalAdds    uint64
+	totalGlobalRemoves uint64
+	peakGlobals        int
+	gcCycles           uint64
+}
+
+// NewVM creates the runtime for the named process. clock must not be nil.
+func NewVM(process string, clock *simclock.Clock, cfg Config) *VM {
+	if clock == nil {
+		panic("art: NewVM requires a clock")
+	}
+	maxG := cfg.MaxGlobalRefs
+	if maxG == 0 {
+		maxG = MaxGlobalRefs
+	}
+	maxW := cfg.MaxWeakGlobalRefs
+	if maxW == 0 {
+		maxW = DefaultMaxWeakGlobalRefs
+	}
+	trigger := cfg.GCTrigger
+	if trigger == 0 {
+		trigger = DefaultGCTrigger
+	}
+	vm := &VM{
+		process:   process,
+		clock:     clock,
+		globals:   newTable(KindGlobal, maxG),
+		weaks:     newTable(KindWeakGlobal, maxW),
+		gcTrigger: trigger,
+		onAbort:   cfg.OnAbort,
+	}
+	vm.frames = []*table{newTable(KindLocal, DefaultMaxLocalRefs)}
+	return vm
+}
+
+// Process returns the owning process name.
+func (vm *VM) Process() string { return vm.process }
+
+// Aborted reports whether the runtime has aborted.
+func (vm *VM) Aborted() bool { return vm.aborted }
+
+// AbortReason returns the abort reason, or "" if the runtime is alive.
+func (vm *VM) AbortReason() string { return vm.abortedReason }
+
+// MaxGlobal returns the global table capacity.
+func (vm *VM) MaxGlobal() int { return vm.globals.max }
+
+// GlobalRefCount returns the current number of JGR entries.
+func (vm *VM) GlobalRefCount() int { return len(vm.globals.entries) }
+
+// WeakGlobalRefCount returns the current number of weak-global entries.
+func (vm *VM) WeakGlobalRefCount() int { return len(vm.weaks.entries) }
+
+// LocalRefCount returns the number of local references in the current frame.
+func (vm *VM) LocalRefCount() int { return len(vm.frames[len(vm.frames)-1].entries) }
+
+// PeakGlobalRefCount returns the historical maximum JGR table size.
+func (vm *VM) PeakGlobalRefCount() int { return vm.peakGlobals }
+
+// TotalGlobalAdds returns the cumulative number of AddGlobalRef calls that
+// succeeded.
+func (vm *VM) TotalGlobalAdds() uint64 { return vm.totalGlobalAdds }
+
+// TotalGlobalRemoves returns the cumulative number of removed JGR entries
+// (explicit deletes plus GC collections).
+func (vm *VM) TotalGlobalRemoves() uint64 { return vm.totalGlobalRemoves }
+
+// GCCycles returns how many GC cycles have run.
+func (vm *VM) GCCycles() uint64 { return vm.gcCycles }
+
+// AddJGRHook registers a hook observing global-table mutations. Hooks run
+// synchronously in table-operation order. This is the attachment point of
+// the defense's extended runtime (paper §V-B).
+func (vm *VM) AddJGRHook(h JGRHook) {
+	vm.hooks = append(vm.hooks, h)
+}
+
+func (vm *VM) emit(op RefOp, ref IndirectRef, obj ObjectID) {
+	if len(vm.hooks) == 0 {
+		return
+	}
+	ev := JGREvent{
+		Time:  vm.clock.Now(),
+		Op:    op,
+		Ref:   ref,
+		Obj:   obj,
+		Count: len(vm.globals.entries),
+	}
+	for _, h := range vm.hooks {
+		h(ev)
+	}
+}
+
+// AddGlobalRef takes a JNI global reference on obj. If the table is full
+// the runtime aborts — this is the JGRE condition — and the overflow error
+// is returned. obj must not be nil.
+func (vm *VM) AddGlobalRef(obj *Object) (IndirectRef, error) {
+	if obj == nil {
+		panic("art: AddGlobalRef(nil)")
+	}
+	if vm.aborted {
+		return 0, ErrRuntimeAborted
+	}
+	if len(vm.globals.entries) >= vm.globals.max {
+		err := &OverflowError{Process: vm.process, Kind: KindGlobal, Max: vm.globals.max}
+		vm.abort(err.Error())
+		return 0, err
+	}
+	vm.globals.serial++
+	ref := makeRef(KindGlobal, vm.globals.serial)
+	vm.globals.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	vm.totalGlobalAdds++
+	if n := len(vm.globals.entries); n > vm.peakGlobals {
+		vm.peakGlobals = n
+	}
+	vm.emit(OpAdd, ref, obj.ID)
+	return ref, nil
+}
+
+// DeleteGlobalRef releases a global reference. Deleting a stale reference
+// returns a StaleRefError (CheckJNI would abort; we surface the error so
+// the simulator's own bugs are loud but recoverable in tests).
+func (vm *VM) DeleteGlobalRef(ref IndirectRef) error {
+	if vm.aborted {
+		return ErrRuntimeAborted
+	}
+	if ref.Kind() != KindGlobal {
+		return &StaleRefError{Ref: ref}
+	}
+	e, ok := vm.globals.entries[ref]
+	if !ok {
+		return &StaleRefError{Ref: ref}
+	}
+	delete(vm.globals.entries, ref)
+	vm.totalGlobalRemoves++
+	vm.emit(OpRemove, ref, e.obj)
+	return nil
+}
+
+// MarkCollectable flags a global reference whose referent is no longer
+// reachable from managed code, so the next GC cycle will free it. This
+// models the paper's "innocent" IPC patterns (sift rules 2 and 3, §III-C3)
+// where the Binder object is collected by the garbage collector after the
+// IPC method ends, as opposed to vulnerable patterns where the service
+// retains the object indefinitely.
+func (vm *VM) MarkCollectable(ref IndirectRef) error {
+	if vm.aborted {
+		return ErrRuntimeAborted
+	}
+	e, ok := vm.globals.entries[ref]
+	if !ok {
+		return &StaleRefError{Ref: ref}
+	}
+	e.collectable = true
+	vm.collectable++
+	if vm.gcTrigger > 0 && vm.collectable >= vm.gcTrigger {
+		vm.GC()
+	}
+	return nil
+}
+
+// GC runs one garbage collection cycle, freeing every collectable global
+// reference, and returns how many entries were freed. The dynamic JGRE
+// verifier triggers GC periodically (paper §III-D uses DDMS for this).
+func (vm *VM) GC() int {
+	if vm.aborted {
+		return 0
+	}
+	vm.gcCycles++
+	vm.collectable = 0
+	freed := 0
+	for ref, e := range vm.globals.entries {
+		if !e.collectable {
+			continue
+		}
+		delete(vm.globals.entries, ref)
+		vm.totalGlobalRemoves++
+		freed++
+		vm.emit(OpRemove, ref, e.obj)
+	}
+	return freed
+}
+
+// AddLocalRef takes a local reference in the current JNI frame.
+func (vm *VM) AddLocalRef(obj *Object) (IndirectRef, error) {
+	if obj == nil {
+		panic("art: AddLocalRef(nil)")
+	}
+	if vm.aborted {
+		return 0, ErrRuntimeAborted
+	}
+	fr := vm.frames[len(vm.frames)-1]
+	if len(fr.entries) >= fr.max {
+		err := &OverflowError{Process: vm.process, Kind: KindLocal, Max: fr.max}
+		vm.abort(err.Error())
+		return 0, err
+	}
+	fr.serial++
+	ref := makeRef(KindLocal, fr.serial)
+	fr.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	return ref, nil
+}
+
+// PushLocalFrame enters a new native method frame. Local references taken
+// afterwards are freed en masse by the matching PopLocalFrame, which is
+// exactly why local references cannot be exhausted across calls (paper
+// §II-A: "JNI local references ... are automatically freed after the
+// native method returns").
+func (vm *VM) PushLocalFrame() {
+	vm.frames = append(vm.frames, newTable(KindLocal, DefaultMaxLocalRefs))
+}
+
+// PopLocalFrame leaves the current native frame, freeing all its local
+// references, and returns how many were freed. Popping the root frame
+// panics: it indicates an unbalanced push/pop in the simulator.
+func (vm *VM) PopLocalFrame() int {
+	if len(vm.frames) == 1 {
+		panic("art: PopLocalFrame on root frame")
+	}
+	top := vm.frames[len(vm.frames)-1]
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	return len(top.entries)
+}
+
+// AddWeakGlobalRef takes a weak global reference on obj.
+func (vm *VM) AddWeakGlobalRef(obj *Object) (IndirectRef, error) {
+	if obj == nil {
+		panic("art: AddWeakGlobalRef(nil)")
+	}
+	if vm.aborted {
+		return 0, ErrRuntimeAborted
+	}
+	if len(vm.weaks.entries) >= vm.weaks.max {
+		err := &OverflowError{Process: vm.process, Kind: KindWeakGlobal, Max: vm.weaks.max}
+		vm.abort(err.Error())
+		return 0, err
+	}
+	vm.weaks.serial++
+	ref := makeRef(KindWeakGlobal, vm.weaks.serial)
+	vm.weaks.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	return ref, nil
+}
+
+// DeleteWeakGlobalRef releases a weak global reference.
+func (vm *VM) DeleteWeakGlobalRef(ref IndirectRef) error {
+	if vm.aborted {
+		return ErrRuntimeAborted
+	}
+	if ref.Kind() != KindWeakGlobal {
+		return &StaleRefError{Ref: ref}
+	}
+	if _, ok := vm.weaks.entries[ref]; !ok {
+		return &StaleRefError{Ref: ref}
+	}
+	delete(vm.weaks.entries, ref)
+	return nil
+}
+
+// RefAge returns how long ago the given global reference was created.
+func (vm *VM) RefAge(ref IndirectRef) (time.Duration, bool) {
+	e, ok := vm.globals.entries[ref]
+	if !ok {
+		return 0, false
+	}
+	return vm.clock.Now() - e.addedAt, true
+}
+
+// abort marks the runtime dead and fires the abort callback once.
+func (vm *VM) abort(reason string) {
+	if vm.aborted {
+		return
+	}
+	vm.aborted = true
+	vm.abortedReason = reason
+	if vm.onAbort != nil {
+		vm.onAbort(reason)
+	}
+}

@@ -1,0 +1,325 @@
+package art
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func newTestVM(t *testing.T, cfg Config) (*VM, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New()
+	return NewVM("test_proc", clock, cfg), clock
+}
+
+func obj(id uint64) *Object { return &Object{ID: ObjectID(id), Class: "android.os.Binder"} }
+
+func TestAddDeleteGlobalRef(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	ref, err := vm.AddGlobalRef(obj(1))
+	if err != nil {
+		t.Fatalf("AddGlobalRef: %v", err)
+	}
+	if got := vm.GlobalRefCount(); got != 1 {
+		t.Fatalf("GlobalRefCount = %d, want 1", got)
+	}
+	if ref.Kind() != KindGlobal {
+		t.Fatalf("ref kind = %v, want global", ref.Kind())
+	}
+	if err := vm.DeleteGlobalRef(ref); err != nil {
+		t.Fatalf("DeleteGlobalRef: %v", err)
+	}
+	if got := vm.GlobalRefCount(); got != 0 {
+		t.Fatalf("GlobalRefCount = %d, want 0", got)
+	}
+}
+
+func TestDefaultCapIs51200(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	if got := vm.MaxGlobal(); got != 51200 {
+		t.Fatalf("MaxGlobal = %d, want 51200 (AOSP java_vm_ext.cc constant)", got)
+	}
+}
+
+func TestOverflowAbortsRuntime(t *testing.T) {
+	var abortReason string
+	clock := simclock.New()
+	vm := NewVM("system_server", clock, Config{
+		MaxGlobalRefs: 8,
+		OnAbort:       func(r string) { abortReason = r },
+	})
+	for i := 0; i < 8; i++ {
+		if _, err := vm.AddGlobalRef(obj(uint64(i))); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	_, err := vm.AddGlobalRef(obj(99))
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overflow add error = %v, want OverflowError", err)
+	}
+	if oe.Kind != KindGlobal || oe.Max != 8 || oe.Process != "system_server" {
+		t.Fatalf("unexpected overflow detail: %+v", oe)
+	}
+	if !vm.Aborted() {
+		t.Fatal("runtime did not abort on JGR overflow")
+	}
+	if abortReason == "" {
+		t.Fatal("abort callback not invoked")
+	}
+	// All further table operations fail.
+	if _, err := vm.AddGlobalRef(obj(100)); !errors.Is(err, ErrRuntimeAborted) {
+		t.Fatalf("post-abort add error = %v, want ErrRuntimeAborted", err)
+	}
+}
+
+func TestAbortCallbackFiresOnce(t *testing.T) {
+	calls := 0
+	clock := simclock.New()
+	vm := NewVM("p", clock, Config{MaxGlobalRefs: 1, OnAbort: func(string) { calls++ }})
+	if _, err := vm.AddGlobalRef(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.AddGlobalRef(obj(2))
+	vm.AddGlobalRef(obj(3))
+	if calls != 1 {
+		t.Fatalf("abort callback fired %d times, want 1", calls)
+	}
+}
+
+func TestDeleteStaleRef(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	ref, _ := vm.AddGlobalRef(obj(1))
+	if err := vm.DeleteGlobalRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	var se *StaleRefError
+	if err := vm.DeleteGlobalRef(ref); !errors.As(err, &se) {
+		t.Fatalf("double delete error = %v, want StaleRefError", err)
+	}
+	// Deleting a local ref through the global API is also stale.
+	lref, _ := vm.AddLocalRef(obj(2))
+	if err := vm.DeleteGlobalRef(lref); !errors.As(err, &se) {
+		t.Fatalf("cross-kind delete error = %v, want StaleRefError", err)
+	}
+}
+
+func TestGCFreesOnlyCollectable(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	retained, _ := vm.AddGlobalRef(obj(1))
+	dropped1, _ := vm.AddGlobalRef(obj(2))
+	dropped2, _ := vm.AddGlobalRef(obj(3))
+	if err := vm.MarkCollectable(dropped1); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.MarkCollectable(dropped2); err != nil {
+		t.Fatal(err)
+	}
+	if freed := vm.GC(); freed != 2 {
+		t.Fatalf("GC freed %d, want 2", freed)
+	}
+	if got := vm.GlobalRefCount(); got != 1 {
+		t.Fatalf("GlobalRefCount = %d, want 1", got)
+	}
+	// The retained ref survives GC and is still deletable.
+	if err := vm.DeleteGlobalRef(retained); err != nil {
+		t.Fatalf("retained ref was collected: %v", err)
+	}
+	if vm.GCCycles() != 1 {
+		t.Fatalf("GCCycles = %d, want 1", vm.GCCycles())
+	}
+}
+
+func TestLocalFrames(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	if _, err := vm.AddLocalRef(obj(1)); err != nil {
+		t.Fatal(err)
+	}
+	vm.PushLocalFrame()
+	vm.AddLocalRef(obj(2))
+	vm.AddLocalRef(obj(3))
+	if got := vm.LocalRefCount(); got != 2 {
+		t.Fatalf("inner LocalRefCount = %d, want 2", got)
+	}
+	if freed := vm.PopLocalFrame(); freed != 2 {
+		t.Fatalf("PopLocalFrame freed %d, want 2", freed)
+	}
+	if got := vm.LocalRefCount(); got != 1 {
+		t.Fatalf("outer LocalRefCount = %d, want 1", got)
+	}
+}
+
+func TestPopRootFramePanics(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopLocalFrame on root frame did not panic")
+		}
+	}()
+	vm.PopLocalFrame()
+}
+
+func TestWeakGlobalRefs(t *testing.T) {
+	vm, _ := newTestVM(t, Config{MaxWeakGlobalRefs: 2})
+	r1, err := vm.AddWeakGlobalRef(obj(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kind() != KindWeakGlobal {
+		t.Fatalf("kind = %v, want weak-global", r1.Kind())
+	}
+	if _, err := vm.AddWeakGlobalRef(obj(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AddWeakGlobalRef(obj(3)); err == nil {
+		t.Fatal("weak table overflow not detected")
+	}
+}
+
+func TestJGRHookObservesAddRemove(t *testing.T) {
+	vm, clock := newTestVM(t, Config{})
+	var events []JGREvent
+	vm.AddJGRHook(func(ev JGREvent) { events = append(events, ev) })
+
+	clock.Advance(10 * time.Millisecond)
+	ref, _ := vm.AddGlobalRef(obj(7))
+	clock.Advance(5 * time.Millisecond)
+	vm.DeleteGlobalRef(ref)
+
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	add, rem := events[0], events[1]
+	if add.Op != OpAdd || add.Time != 10*time.Millisecond || add.Count != 1 || add.Obj != 7 {
+		t.Fatalf("add event = %+v", add)
+	}
+	if rem.Op != OpRemove || rem.Time != 15*time.Millisecond || rem.Count != 0 || rem.Obj != 7 {
+		t.Fatalf("remove event = %+v", rem)
+	}
+}
+
+func TestRefAge(t *testing.T) {
+	vm, clock := newTestVM(t, Config{})
+	ref, _ := vm.AddGlobalRef(obj(1))
+	clock.Advance(42 * time.Second)
+	age, ok := vm.RefAge(ref)
+	if !ok || age != 42*time.Second {
+		t.Fatalf("RefAge = %v, %v; want 42s, true", age, ok)
+	}
+	vm.DeleteGlobalRef(ref)
+	if _, ok := vm.RefAge(ref); ok {
+		t.Fatal("RefAge reported a deleted ref")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	vm, _ := newTestVM(t, Config{})
+	var refs []IndirectRef
+	for i := 0; i < 10; i++ {
+		r, _ := vm.AddGlobalRef(obj(uint64(i)))
+		refs = append(refs, r)
+	}
+	for _, r := range refs[:4] {
+		vm.DeleteGlobalRef(r)
+	}
+	if got := vm.TotalGlobalAdds(); got != 10 {
+		t.Errorf("TotalGlobalAdds = %d, want 10", got)
+	}
+	if got := vm.TotalGlobalRemoves(); got != 4 {
+		t.Errorf("TotalGlobalRemoves = %d, want 4", got)
+	}
+	if got := vm.PeakGlobalRefCount(); got != 10 {
+		t.Errorf("PeakGlobalRefCount = %d, want 10", got)
+	}
+	if got := vm.GlobalRefCount(); got != 6 {
+		t.Errorf("GlobalRefCount = %d, want 6", got)
+	}
+}
+
+// Property: for any interleaving of adds and deletes that stays within the
+// cap, count == adds - removes, and the table never exceeds its cap.
+func TestQuickConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		clock := simclock.New()
+		vm := NewVM("p", clock, Config{MaxGlobalRefs: 64})
+		var live []IndirectRef
+		adds, removes := 0, 0
+		for i, isAdd := range ops {
+			if isAdd && len(live) < 64 {
+				r, err := vm.AddGlobalRef(obj(uint64(i)))
+				if err != nil {
+					return false
+				}
+				live = append(live, r)
+				adds++
+			} else if len(live) > 0 {
+				r := live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := vm.DeleteGlobalRef(r); err != nil {
+					return false
+				}
+				removes++
+			}
+			if vm.GlobalRefCount() != adds-removes {
+				return false
+			}
+			if vm.GlobalRefCount() > 64 {
+				return false
+			}
+		}
+		return !vm.Aborted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	cases := map[RefKind]string{
+		KindLocal:      "local",
+		KindGlobal:     "global",
+		KindWeakGlobal: "weak-global",
+		RefKind(9):     "RefKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func BenchmarkAddDeleteGlobalRef(b *testing.B) {
+	clock := simclock.New()
+	vm := NewVM("bench", clock, Config{})
+	o := obj(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := vm.AddGlobalRef(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vm.DeleteGlobalRef(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddGlobalRefWithHook(b *testing.B) {
+	clock := simclock.New()
+	vm := NewVM("bench", clock, Config{})
+	var sink int
+	vm.AddJGRHook(func(ev JGREvent) { sink = ev.Count })
+	o := obj(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := vm.AddGlobalRef(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm.DeleteGlobalRef(r)
+	}
+	_ = sink
+}

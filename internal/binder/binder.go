@@ -1,0 +1,272 @@
+package binder
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/art"
+	"repro/internal/kernel"
+)
+
+// Handle identifies a binder node inside the driver, as seen by remote
+// processes.
+type Handle uint32
+
+// TxCode identifies a transaction (an IPC method) on an interface.
+type TxCode uint32
+
+// Errors surfaced by binder operations.
+var (
+	// ErrDeadObject mirrors DeadObjectException: the binder's owning
+	// process is gone.
+	ErrDeadObject = errors.New("binder: dead object")
+	// ErrUnknownTransaction is returned for a transaction on a binder
+	// with no transactor (e.g. a plain token Binder).
+	ErrUnknownTransaction = errors.New("binder: unknown transaction")
+	// ErrLocalBinder is returned by LinkToDeath on a binder the caller
+	// itself owns: local binders cannot die independently.
+	ErrLocalBinder = errors.New("binder: cannot link to death of a local binder")
+)
+
+// Call carries one inbound transaction to a Transactor. Binder.getCallingUid
+// and getCallingPid correspond to SenderUid and SenderPid; permission checks
+// in services key off them.
+type Call struct {
+	Code  TxCode
+	Data  *Parcel
+	Reply *Parcel
+
+	SenderPid kernel.Pid
+	SenderUid kernel.Uid
+	// Target is the local binder being invoked.
+	Target *LocalBinder
+}
+
+// Transactor handles inbound transactions on a local binder — the
+// equivalent of Binder.onTransact in a service stub.
+type Transactor interface {
+	OnTransact(call *Call) error
+}
+
+// TransactorFunc adapts a function to the Transactor interface.
+type TransactorFunc func(call *Call) error
+
+// OnTransact implements Transactor.
+func (f TransactorFunc) OnTransact(call *Call) error { return f(call) }
+
+// IBinder is the common interface of local binder objects and remote
+// proxies, mirroring android.os.IBinder.
+type IBinder interface {
+	// Transact performs a synchronous transaction. reply may be nil when
+	// the caller ignores results.
+	Transact(code TxCode, data, reply *Parcel) error
+	// Owner returns the process hosting the binder object.
+	Owner() *kernel.Process
+	// IsAlive reports whether the hosting process is still running.
+	IsAlive() bool
+	// LinkToDeath registers fn to run when the hosting process dies.
+	// Linking takes a JNI global reference in the linking process (the
+	// Binder.linkToDeath → JavaDeathRecipient JGR entry of paper
+	// §III-B2); the reference is released when the link fires or is
+	// unlinked.
+	LinkToDeath(fn func()) (*DeathLink, error)
+}
+
+// LocalBinder is a binder object living in its creating process — the
+// analogue of android.os.Binder. A LocalBinder with a nil Transactor is a
+// pure token (attackers mint these: `new Binder()` in Code-Snippet 2).
+type LocalBinder struct {
+	driver  *Driver
+	owner   *kernel.Process
+	class   string
+	handler Transactor
+	id      uint64
+}
+
+// Owner returns the hosting process.
+func (b *LocalBinder) Owner() *kernel.Process { return b.owner }
+
+// Class returns the simulated Java class of the binder object.
+func (b *LocalBinder) Class() string { return b.class }
+
+// IsAlive reports whether the hosting process is running.
+func (b *LocalBinder) IsAlive() bool { return b.owner.Alive() }
+
+// Transact on a local binder dispatches directly to the transactor, as
+// Binder.transact does for in-process calls. No driver crossing occurs
+// and no IPC is logged.
+func (b *LocalBinder) Transact(code TxCode, data, reply *Parcel) error {
+	if b.handler == nil {
+		return ErrUnknownTransaction
+	}
+	if data == nil {
+		data = NewParcel()
+	}
+	if reply == nil {
+		reply = NewParcel()
+	}
+	ctx := b.driver.context(b.owner)
+	data.attachReader(ctx)
+	defer data.finishRead()
+	reply.attachReader(ctx)
+	vm := b.owner.VM()
+	vm.PushLocalFrame()
+	defer func() {
+		if b.owner.Alive() {
+			vm.PopLocalFrame()
+		}
+	}()
+	return b.handler.OnTransact(&Call{
+		Code: code, Data: data, Reply: reply,
+		SenderPid: b.owner.Pid(), SenderUid: b.owner.Uid(),
+		Target: b,
+	})
+}
+
+// LinkToDeath on a local binder is rejected: the owner cannot outlive
+// itself.
+func (b *LocalBinder) LinkToDeath(func()) (*DeathLink, error) {
+	return nil, ErrLocalBinder
+}
+
+// proxy is a remote reference to a binder node, the analogue of
+// android.os.BinderProxy. One proxy exists per (holding process, node).
+type proxy struct {
+	driver *Driver
+	node   *node
+	holder *kernel.Process
+}
+
+// Owner returns the process hosting the underlying binder object.
+func (p *proxy) Owner() *kernel.Process { return p.node.owner }
+
+// IsAlive reports whether the node's owner still runs.
+func (p *proxy) IsAlive() bool { return !p.node.dead && p.node.owner.Alive() }
+
+// Transact routes the transaction through the driver.
+func (p *proxy) Transact(code TxCode, data, reply *Parcel) error {
+	return p.driver.transact(p.holder, p.node, code, data, reply)
+}
+
+// LinkToDeath registers a death recipient for the remote process.
+func (p *proxy) LinkToDeath(fn func()) (*DeathLink, error) {
+	return p.driver.linkToDeath(p, fn)
+}
+
+// DeathLink is a registered death recipient; Unlink cancels it.
+type DeathLink struct {
+	driver *Driver
+	node   *node
+	holder *procContext
+	fn     func()
+	jgr    art.IndirectRef
+	active bool
+}
+
+// Unlink cancels the death notification and releases its JGR.
+func (dl *DeathLink) Unlink() {
+	if !dl.active {
+		return
+	}
+	dl.active = false
+	dl.node.removeLink(dl)
+	if dl.jgr != 0 && dl.holder.proc.Alive() {
+		// Ignore stale errors: the VM may have aborted concurrently.
+		_ = dl.holder.proc.VM().DeleteGlobalRef(dl.jgr)
+	}
+	dl.jgr = 0
+}
+
+// fire runs the recipient once and releases its JGR.
+func (dl *DeathLink) fire() {
+	if !dl.active {
+		return
+	}
+	dl.active = false
+	if dl.jgr != 0 && dl.holder.proc.Alive() {
+		_ = dl.holder.proc.VM().DeleteGlobalRef(dl.jgr)
+		dl.jgr = 0
+	}
+	dl.fn()
+}
+
+// BinderRef is a binder object materialized in a reading process by
+// ReadStrongBinder (or handed out by the ServiceManager). It couples the
+// IBinder with the JNI global reference that keeps the proxy alive in the
+// reader's runtime.
+//
+// A ref obtained inside a transaction starts unretained: when the
+// transaction ends the framework marks it collectable and the next GC
+// frees the JGR — the innocent patterns of paper §III-C3. A service that
+// stores the binder must call Retain, which is exactly the operation that
+// makes an IPC interface a JGRE risk.
+type BinderRef struct {
+	ctx      *procContext
+	binder   IBinder
+	jgr      art.IndirectRef
+	retained bool
+	closed   bool
+}
+
+// Binder returns the underlying IBinder.
+func (r *BinderRef) Binder() IBinder { return r.binder }
+
+// HasJGR reports whether this ref holds a JNI global reference (false for
+// same-process binders).
+func (r *BinderRef) HasJGR() bool { return r.jgr != 0 }
+
+// Retained reports whether the ref has been pinned beyond its transaction.
+func (r *BinderRef) Retained() bool { return r.retained }
+
+// Retain pins the reference beyond the current transaction, preventing GC
+// from reclaiming its JGR. Retaining an already-closed ref panics: it
+// indicates a use-after-release bug in a service.
+func (r *BinderRef) Retain() {
+	if r.closed {
+		panic("binder: Retain on released BinderRef")
+	}
+	r.retained = true
+}
+
+// Release explicitly drops the reference, deleting its JGR immediately.
+// Releasing twice is a no-op.
+func (r *BinderRef) Release() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.retained = false
+	if r.jgr == 0 {
+		return
+	}
+	if r.ctx.proc.Alive() {
+		// The ctx JGR hook observes the delete and finalizes the proxy
+		// (node remote-ref bookkeeping).
+		_ = r.ctx.proc.VM().DeleteGlobalRef(r.jgr)
+	}
+}
+
+// endOfTransaction marks an unretained ref collectable: the Java-side
+// proxy became unreachable when onTransact returned, so the next GC cycle
+// reclaims the global reference.
+func (r *BinderRef) endOfTransaction() {
+	if r.retained || r.closed || r.jgr == 0 {
+		return
+	}
+	r.closed = true
+	if r.ctx.proc.Alive() {
+		_ = r.ctx.proc.VM().MarkCollectable(r.jgr)
+	}
+	// Drop from the proxy cache now: a later read of the same node
+	// materializes a fresh proxy, as javaObjectForIBinder would after
+	// the BinderProxy is finalized.
+	delete(r.ctx.proxies, r.node().handle)
+}
+
+// node returns the driver node behind a proxy-backed ref.
+func (r *BinderRef) node() *node {
+	if p, ok := r.binder.(*proxy); ok {
+		return p.node
+	}
+	panic(fmt.Sprintf("binder: BinderRef over %T has no node", r.binder))
+}

@@ -1,0 +1,524 @@
+package binder
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/kernel"
+)
+
+// LogPath is the procfs file the extended driver writes IPC records to
+// (paper §V-B: "It creates a file /proc/jgre_ipc_log in memory to store
+// the data").
+const LogPath = "/proc/jgre_ipc_log"
+
+// LatencyModel charges virtual time for a transaction as
+// Base + PerKB × payload/1024.
+type LatencyModel struct {
+	Base  time.Duration
+	PerKB time.Duration
+}
+
+// cost returns the virtual time for a payload of size bytes.
+func (m LatencyModel) cost(size int) time.Duration {
+	return m.Base + time.Duration(int64(m.PerKB)*int64(size)/1024)
+}
+
+// DefaultLatency approximates a Nexus 5X binder round trip: ≈150 µs floor
+// plus ≈5 µs per KiB of payload, which puts a 500 KB transaction near the
+// stock curve of the paper's Fig. 10.
+var DefaultLatency = LatencyModel{Base: 150 * time.Microsecond, PerKB: 5 * time.Microsecond}
+
+// DefaultLogCost is the extra per-transaction cost of the defense's IPC
+// recording, calibrated to the paper's measurements (§V-D2): at most
+// ≈1.247 ms added per call at the 500 KB end of the sweep, and ≈46.7%
+// aggregate overhead across Fig. 10's payload range.
+var DefaultLogCost = LatencyModel{Base: 390 * time.Microsecond, PerKB: 1710 * time.Nanosecond}
+
+// IPCRecord is one logged transaction, carrying the fields the paper's
+// extended binder driver records: from_pid, to_pid, target handle/node and
+// timestamp (§V-B), plus the sender uid and payload size the defender and
+// experiments use.
+type IPCRecord struct {
+	Seq     uint64
+	Time    time.Duration
+	FromPid kernel.Pid
+	FromUid kernel.Uid
+	ToPid   kernel.Pid
+	Handle  Handle
+	Code    TxCode
+	Size    int
+}
+
+// String formats the record as one procfs log line.
+func (r IPCRecord) String() string {
+	return fmt.Sprintf("%d %d %d %d %d %d %d %d",
+		r.Seq, r.Time.Microseconds(), r.FromPid, r.FromUid, r.ToPid, r.Handle, r.Code, r.Size)
+}
+
+// ParseIPCRecord parses a procfs log line produced by IPCRecord.String.
+func ParseIPCRecord(line string) (IPCRecord, error) {
+	var (
+		r  IPCRecord
+		us int64
+	)
+	n, err := fmt.Sscanf(strings.TrimSpace(line), "%d %d %d %d %d %d %d %d",
+		&r.Seq, &us, &r.FromPid, &r.FromUid, &r.ToPid, &r.Handle, &r.Code, &r.Size)
+	if err != nil {
+		return IPCRecord{}, fmt.Errorf("binder: parsing IPC record %q: %w", line, err)
+	}
+	if n != 8 {
+		return IPCRecord{}, fmt.Errorf("binder: IPC record %q has %d fields, want 8", line, n)
+	}
+	r.Time = time.Duration(us) * time.Microsecond
+	return r, nil
+}
+
+// node is the driver-side identity of a local binder object.
+type node struct {
+	handle Handle
+	local  *LocalBinder
+	owner  *kernel.Process
+	dead   bool
+
+	// remoteRefs counts live proxies across all processes. While it is
+	// positive the owner's runtime holds a JGR on the local binder (the
+	// JavaBBinder / Parcel.nativeWriteStrongBinder entry of §III-C2),
+	// which is why an attacker flooding a service with fresh Binder
+	// tokens burns its own JGR table nearly as fast as the victim's.
+	remoteRefs int
+	ownerJGR   art.IndirectRef
+
+	links []*DeathLink
+}
+
+func (n *node) removeLink(dl *DeathLink) {
+	for i, l := range n.links {
+		if l == dl {
+			n.links = append(n.links[:i], n.links[i+1:]...)
+			return
+		}
+	}
+}
+
+// procContext is the per-process binder state: the proxy cache (one
+// BinderProxy per node, as javaObjectForIBinder guarantees) and the JGR
+// bookkeeping that ties proxies to the process runtime.
+type procContext struct {
+	driver  *Driver
+	proc    *kernel.Process
+	proxies map[Handle]*BinderRef
+	byJGR   map[art.IndirectRef]*BinderRef
+	links   []*DeathLink
+}
+
+// materialize turns a parceled binder into this process's view of it,
+// taking a JGR for cross-process binders.
+func (c *procContext) materialize(b IBinder) (*BinderRef, error) {
+	var n *node
+	switch t := b.(type) {
+	case *LocalBinder:
+		if t.owner == c.proc {
+			return &BinderRef{ctx: c, binder: t}, nil
+		}
+		n = c.driver.ensureNode(t)
+	case *proxy:
+		n = t.node
+	default:
+		return nil, fmt.Errorf("binder: cannot materialize %T", b)
+	}
+	if n.owner == c.proc {
+		return &BinderRef{ctx: c, binder: n.local}, nil
+	}
+	if existing, ok := c.proxies[n.handle]; ok && !existing.closed {
+		return existing, nil
+	}
+	px := &proxy{driver: c.driver, node: n, holder: c.proc}
+	obj := &art.Object{ID: c.driver.nextObjectID(), Class: "android.os.BinderProxy"}
+	jgr, err := c.proc.VM().AddGlobalRef(obj)
+	if err != nil {
+		// The reading process just exhausted its own JGR table; its
+		// runtime has aborted and the kernel reaped it.
+		return nil, fmt.Errorf("binder: materializing proxy in %s: %w", c.proc.Name(), err)
+	}
+	ref := &BinderRef{ctx: c, binder: px, jgr: jgr}
+	c.proxies[n.handle] = ref
+	c.byJGR[jgr] = ref
+	c.driver.addRemoteRef(n)
+	return ref, nil
+}
+
+// onJGRRemoved finalizes proxy bookkeeping when a proxy's global
+// reference is deleted (explicit release or GC).
+func (c *procContext) onJGRRemoved(ref art.IndirectRef) {
+	br, ok := c.byJGR[ref]
+	if !ok {
+		return
+	}
+	delete(c.byJGR, ref)
+	if cur, ok := c.proxies[br.node().handle]; ok && cur == br {
+		delete(c.proxies, br.node().handle)
+	}
+	br.closed = true
+	c.driver.dropRemoteRef(br.node())
+}
+
+// Driver is the simulated binder kernel driver: the single mediator of
+// cross-process transactions.
+type Driver struct {
+	k     *kernel.Kernel
+	cfg   Config
+	clock clockIface
+
+	nextHandle   Handle
+	nextObj      art.ObjectID
+	nextBinderID uint64
+	nodes        map[Handle]*node
+	nodeByBinder map[*LocalBinder]*node
+	nodesByOwner map[kernel.Pid][]*node
+	ctxs         map[kernel.Pid]*procContext
+
+	logging      bool
+	logSeq       uint64
+	pendingLog   []IPCRecord
+	totalTx      uint64
+	totalLogged  uint64
+	procfsOpened bool
+}
+
+type clockIface interface {
+	Now() time.Duration
+	Advance(time.Duration)
+}
+
+// Config parameterizes a Driver. Zero-value fields select defaults.
+type Config struct {
+	Latency LatencyModel
+	LogCost LatencyModel
+}
+
+// New creates a driver attached to the kernel; it observes process deaths
+// to fire death recipients and reclaim reference bookkeeping.
+func New(k *kernel.Kernel, cfg Config) *Driver {
+	if cfg.Latency == (LatencyModel{}) {
+		cfg.Latency = DefaultLatency
+	}
+	if cfg.LogCost == (LatencyModel{}) {
+		cfg.LogCost = DefaultLogCost
+	}
+	d := &Driver{
+		k:            k,
+		cfg:          cfg,
+		clock:        k.Clock(),
+		nextHandle:   1,
+		nodes:        make(map[Handle]*node),
+		nodeByBinder: make(map[*LocalBinder]*node),
+		nodesByOwner: make(map[kernel.Pid][]*node),
+		ctxs:         make(map[kernel.Pid]*procContext),
+	}
+	k.OnKill(func(p *kernel.Process, _ string) { d.onProcessDeath(p) })
+	return d
+}
+
+// Kernel returns the kernel the driver serves.
+func (d *Driver) Kernel() *kernel.Kernel { return d.k }
+
+// TotalTransactions returns the number of cross-process transactions
+// dispatched since boot.
+func (d *Driver) TotalTransactions() uint64 { return d.totalTx }
+
+// nextObjectID mints a device-unique simulated Java object id.
+func (d *Driver) nextObjectID() art.ObjectID {
+	d.nextObj++
+	return d.nextObj
+}
+
+// NewLocalBinder creates a binder object owned by proc. handler may be nil
+// for pure token binders.
+func (d *Driver) NewLocalBinder(proc *kernel.Process, class string, handler Transactor) *LocalBinder {
+	if proc == nil || !proc.Alive() {
+		panic("binder: NewLocalBinder on a dead or nil process")
+	}
+	if class == "" {
+		class = "android.os.Binder"
+	}
+	d.nextBinderID++
+	return &LocalBinder{driver: d, owner: proc, class: class, handler: handler, id: d.nextBinderID}
+}
+
+// context returns (creating if needed) the per-process binder state.
+func (d *Driver) context(proc *kernel.Process) *procContext {
+	if c, ok := d.ctxs[proc.Pid()]; ok {
+		return c
+	}
+	c := &procContext{
+		driver:  d,
+		proc:    proc,
+		proxies: make(map[Handle]*BinderRef),
+		byJGR:   make(map[art.IndirectRef]*BinderRef),
+	}
+	proc.VM().AddJGRHook(func(ev art.JGREvent) {
+		if ev.Op == art.OpRemove {
+			c.onJGRRemoved(ev.Ref)
+		}
+	})
+	d.ctxs[proc.Pid()] = c
+	return c
+}
+
+// Materialize gives proc a reference to b outside any transaction — the
+// path used by ServiceManager.getService and by tests. The returned ref is
+// retained (the holder keeps the proxy in a long-lived variable).
+func (d *Driver) Materialize(proc *kernel.Process, b IBinder) (*BinderRef, error) {
+	ref, err := d.context(proc).materialize(b)
+	if err != nil {
+		return nil, err
+	}
+	ref.Retain()
+	return ref, nil
+}
+
+func (d *Driver) ensureNode(lb *LocalBinder) *node {
+	if n, ok := d.nodeByBinder[lb]; ok {
+		return n
+	}
+	n := &node{handle: d.nextHandle, local: lb, owner: lb.owner}
+	d.nextHandle++
+	d.nodes[n.handle] = n
+	d.nodeByBinder[lb] = n
+	d.nodesByOwner[lb.owner.Pid()] = append(d.nodesByOwner[lb.owner.Pid()], n)
+	return n
+}
+
+// addRemoteRef notes a new proxy on n; the first remote holder pins the
+// owner-side JavaBBinder global reference.
+func (d *Driver) addRemoteRef(n *node) {
+	n.remoteRefs++
+	if n.remoteRefs == 1 && !n.dead && n.owner.Alive() && n.ownerJGR == 0 {
+		obj := &art.Object{ID: d.nextObjectID(), Class: n.local.class}
+		jgr, err := n.owner.VM().AddGlobalRef(obj)
+		if err != nil {
+			// The owner exhausted its own table (e.g. an attacker
+			// minting tens of thousands of tokens); the kernel has
+			// already reaped it via the VM abort hook.
+			return
+		}
+		n.ownerJGR = jgr
+	}
+}
+
+// dropRemoteRef releases the owner-side pin when the last proxy dies.
+func (d *Driver) dropRemoteRef(n *node) {
+	n.remoteRefs--
+	if n.remoteRefs <= 0 && n.ownerJGR != 0 {
+		if n.owner.Alive() {
+			_ = n.owner.VM().DeleteGlobalRef(n.ownerJGR)
+		}
+		n.ownerJGR = 0
+	}
+}
+
+// transact dispatches a transaction from the holder of a proxy to the
+// node's owner.
+func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, reply *Parcel) error {
+	if n.dead || !n.owner.Alive() {
+		return ErrDeadObject
+	}
+	if !from.Alive() {
+		return fmt.Errorf("binder: transaction from dead process %s", from.Name())
+	}
+	if data == nil {
+		data = NewParcel()
+	}
+	if reply == nil {
+		reply = NewParcel()
+	}
+	size := data.SizeBytes()
+	if size > MaxTransactionBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTransactionTooLarge, size)
+	}
+
+	d.clock.Advance(d.cfg.Latency.cost(size))
+	d.totalTx++
+	if d.logging {
+		d.clock.Advance(d.cfg.LogCost.cost(size))
+		d.logSeq++
+		d.pendingLog = append(d.pendingLog, IPCRecord{
+			Seq: d.logSeq, Time: d.clock.Now(),
+			FromPid: from.Pid(), FromUid: from.Uid(),
+			ToPid: n.owner.Pid(), Handle: n.handle, Code: code, Size: size,
+		})
+		d.totalLogged++
+	}
+
+	// Pin the sender side of any local binders travelling in the parcel:
+	// flattening a Binder into the driver is what creates its node.
+	for _, it := range data.items {
+		if it.kind == kindBinder && it.b != nil {
+			if lb, ok := it.b.(*LocalBinder); ok {
+				d.ensureNode(lb)
+			}
+		}
+	}
+
+	target := d.context(n.owner)
+	data.attachReader(target)
+	defer data.finishRead()
+	reply.attachReader(d.context(from))
+
+	if n.local.handler == nil {
+		return ErrUnknownTransaction
+	}
+	// The handler runs inside a fresh JNI local frame: local references
+	// taken while unmarshalling are freed wholesale when the transaction
+	// returns — which is exactly why local references cannot be
+	// exhausted across calls and the attack needs *global* references
+	// (paper §II-A).
+	vm := n.owner.VM()
+	vm.PushLocalFrame()
+	defer func() {
+		if n.owner.Alive() {
+			vm.PopLocalFrame()
+		}
+	}()
+	return n.local.handler.OnTransact(&Call{
+		Code: code, Data: data, Reply: reply,
+		SenderPid: from.Pid(), SenderUid: from.Uid(),
+		Target: n.local,
+	})
+}
+
+// linkToDeath implements proxy.LinkToDeath.
+func (d *Driver) linkToDeath(p *proxy, fn func()) (*DeathLink, error) {
+	if p.node.dead || !p.node.owner.Alive() {
+		return nil, ErrDeadObject
+	}
+	holder := d.context(p.holder)
+	obj := &art.Object{ID: d.nextObjectID(), Class: "android.os.Binder$JavaDeathRecipient"}
+	jgr, err := holder.proc.VM().AddGlobalRef(obj)
+	if err != nil {
+		return nil, fmt.Errorf("binder: linkToDeath in %s: %w", holder.proc.Name(), err)
+	}
+	dl := &DeathLink{driver: d, node: p.node, holder: holder, fn: fn, jgr: jgr, active: true}
+	p.node.links = append(p.node.links, dl)
+	holder.links = append(holder.links, dl)
+	return dl, nil
+}
+
+// onProcessDeath reclaims binder state for a dead process: its proxies
+// release their remote refs, its death links deactivate, its nodes die and
+// fire death recipients in the processes holding proxies to them — which
+// is how services learn to drop a dead client's listeners and JGRs.
+func (d *Driver) onProcessDeath(p *kernel.Process) {
+	pid := p.Pid()
+	if ctx, ok := d.ctxs[pid]; ok {
+		delete(d.ctxs, pid)
+		for _, br := range ctx.proxies {
+			if !br.closed {
+				br.closed = true
+				d.dropRemoteRef(br.node())
+			}
+		}
+		for _, dl := range ctx.links {
+			if dl.active {
+				dl.active = false
+				dl.node.removeLink(dl)
+			}
+		}
+	}
+	for _, n := range d.nodesByOwner[pid] {
+		if n.dead {
+			continue
+		}
+		n.dead = true
+		n.ownerJGR = 0
+		links := append([]*DeathLink(nil), n.links...)
+		n.links = nil
+		for _, dl := range links {
+			if dl.holder.proc.Alive() {
+				dl.fire()
+			}
+		}
+		delete(d.nodeByBinder, n.local)
+	}
+	delete(d.nodesByOwner, pid)
+}
+
+// EnableIPCLogging turns on transaction recording, creating the kernel-
+// only procfs log file. Idempotent.
+func (d *Driver) EnableIPCLogging() error {
+	if !d.procfsOpened {
+		if err := d.k.ProcFS().Create(LogPath, kernel.RootUid, false); err != nil {
+			return err
+		}
+		d.procfsOpened = true
+	}
+	d.logging = true
+	return nil
+}
+
+// DisableIPCLogging stops recording; buffered records remain flushable.
+func (d *Driver) DisableIPCLogging() { d.logging = false }
+
+// LoggingEnabled reports whether transactions are being recorded.
+func (d *Driver) LoggingEnabled() bool { return d.logging }
+
+// FlushLog appends all buffered records to the procfs file and clears the
+// buffer. It returns the number of records flushed.
+func (d *Driver) FlushLog() (int, error) {
+	if len(d.pendingLog) == 0 {
+		return 0, nil
+	}
+	var sb strings.Builder
+	for _, r := range d.pendingLog {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	n := len(d.pendingLog)
+	d.pendingLog = d.pendingLog[:0]
+	if err := d.k.ProcFS().Append(LogPath, kernel.RootUid, []byte(sb.String())); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// TruncateLog clears the procfs log contents (the defender does this after
+// consuming a window of records).
+func (d *Driver) TruncateLog() error {
+	if !d.procfsOpened {
+		return nil
+	}
+	return d.k.ProcFS().Write(LogPath, kernel.RootUid, nil)
+}
+
+// ReadLog parses the procfs log as uid. Permission enforcement is the
+// procfs's: app uids are denied, so malicious apps cannot observe or spoof
+// the evidence stream.
+func (d *Driver) ReadLog(uid kernel.Uid) ([]IPCRecord, error) {
+	raw, err := d.k.ProcFS().Read(LogPath, uid)
+	if err != nil {
+		return nil, err
+	}
+	var out []IPCRecord
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := ParseIPCRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// HandleOf returns the driver handle of a local binder, creating its node
+// if it has never crossed a process boundary. The device layer uses this
+// to index services by handle so the defender can attribute logged IPC
+// records to interfaces.
+func (d *Driver) HandleOf(lb *LocalBinder) Handle {
+	return d.ensureNode(lb).handle
+}

@@ -1,0 +1,549 @@
+package binder
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/kernel"
+	"repro/internal/simclock"
+)
+
+// rig is a minimal two-process device for binder tests.
+type rig struct {
+	clock  *simclock.Clock
+	k      *kernel.Kernel
+	d      *Driver
+	sm     *ServiceManager
+	server *kernel.Process // system_server stand-in
+	app    *kernel.Process
+}
+
+func newRig(t *testing.T, serverVM art.Config) *rig {
+	t.Helper()
+	clock := simclock.New()
+	k := kernel.New(clock, kernel.Config{})
+	d := New(k, Config{})
+	server := k.Spawn(kernel.SpawnConfig{
+		Name: kernel.SystemServerName, Uid: kernel.SystemUid,
+		OomScoreAdj: kernel.SystemAdj, VM: serverVM,
+	})
+	app := k.Spawn(kernel.SpawnConfig{Name: "com.evil.app", Uid: 10061})
+	return &rig{clock: clock, k: k, d: d, sm: NewServiceManager(d), server: server, app: app}
+}
+
+// registerEcho installs a service that echoes an int32 and reports caller
+// identity.
+func (r *rig) registerEcho(t *testing.T, name string) {
+	t.Helper()
+	stub := r.d.NewLocalBinder(r.server, "EchoService", TransactorFunc(func(c *Call) error {
+		v, err := c.Data.ReadInt32()
+		if err != nil {
+			return err
+		}
+		c.Reply.WriteInt32(v + 1)
+		c.Reply.WriteInt32(int32(c.SenderUid))
+		return nil
+	}))
+	if err := r.sm.AddService(name, stub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// registerRetainer installs a service that retains every binder it
+// receives — the shape of every vulnerable interface.
+func (r *rig) registerRetainer(t *testing.T, name string, retained *[]*BinderRef) {
+	t.Helper()
+	stub := r.d.NewLocalBinder(r.server, "RetainerService", TransactorFunc(func(c *Call) error {
+		ref, err := c.Data.ReadStrongBinder()
+		if err != nil {
+			return err
+		}
+		ref.Retain()
+		*retained = append(*retained, ref)
+		return nil
+	}))
+	if err := r.sm.AddService(name, stub); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossProcessTransact(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+
+	svc, err := r.sm.GetService("echo", r.app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, reply := NewParcel(), NewParcel()
+	data.WriteInt32(41)
+	if err := svc.Binder().Transact(1, data, reply); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reply.ReadInt32()
+	if err != nil || got != 42 {
+		t.Fatalf("echo reply = %d, %v", got, err)
+	}
+	uid, _ := reply.ReadInt32()
+	if kernel.Uid(uid) != r.app.Uid() {
+		t.Fatalf("service saw caller uid %d, want %d", uid, r.app.Uid())
+	}
+	if r.d.TotalTransactions() != 1 {
+		t.Fatalf("TotalTransactions = %d, want 1", r.d.TotalTransactions())
+	}
+}
+
+func TestTransactAdvancesClockByPayload(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	svc, _ := r.sm.GetService("echo", r.app)
+
+	small, reply := NewParcel(), NewParcel()
+	small.WriteInt32(1)
+	t0 := r.clock.Now()
+	svc.Binder().Transact(1, small, reply)
+	smallCost := r.clock.Now() - t0
+
+	big, reply2 := NewParcel(), NewParcel()
+	big.WriteInt32(1)
+	big.WriteBytes(make([]byte, 100*1024))
+	t1 := r.clock.Now()
+	svc.Binder().Transact(1, big, reply2)
+	bigCost := r.clock.Now() - t1
+
+	if bigCost <= smallCost {
+		t.Fatalf("payload cost not charged: small=%v big=%v", smallCost, bigCost)
+	}
+	wantExtra := time.Duration(int64(DefaultLatency.PerKB) * (100*1024 + 9) / 1024)
+	if diff := bigCost - smallCost; diff < wantExtra/2 || diff > wantExtra*2 {
+		t.Fatalf("payload cost %v implausible (want ≈%v)", diff, wantExtra)
+	}
+}
+
+func TestTransactionTooLarge(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	svc, _ := r.sm.GetService("echo", r.app)
+	data := NewParcel()
+	data.WriteBytes(make([]byte, MaxTransactionBytes+1))
+	err := svc.Binder().Transact(1, data, nil)
+	if !errors.Is(err, ErrTransactionTooLarge) {
+		t.Fatalf("error = %v, want ErrTransactionTooLarge", err)
+	}
+}
+
+func TestUnretainedBinderIsGCed(t *testing.T) {
+	r := newRig(t, art.Config{})
+	stub := r.d.NewLocalBinder(r.server, "InnocentService", TransactorFunc(func(c *Call) error {
+		// Reads the binder but never retains it (sift rule 2, §III-C3).
+		_, err := c.Data.ReadStrongBinder()
+		return err
+	}))
+	r.sm.AddService("innocent", stub)
+	svc, _ := r.sm.GetService("innocent", r.app)
+
+	base := r.server.VM().GlobalRefCount()
+	for i := 0; i < 50; i++ {
+		data := NewParcel()
+		data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := r.server.VM().GlobalRefCount()
+	if grown <= base {
+		t.Fatalf("no transient JGR growth observed (base=%d now=%d)", base, grown)
+	}
+	r.server.VM().GC()
+	if got := r.server.VM().GlobalRefCount(); got != base {
+		t.Fatalf("GC did not reclaim unretained refs: %d, want %d", got, base)
+	}
+}
+
+func TestRetainedBindersSurviveGCAndExhaust(t *testing.T) {
+	var retained []*BinderRef
+	r := newRig(t, art.Config{MaxGlobalRefs: 100})
+	r.registerRetainer(t, "vuln", &retained)
+	svc, _ := r.sm.GetService("vuln", r.app)
+
+	for i := 0; r.server.Alive(); i++ {
+		if i > 300 {
+			t.Fatal("server survived far beyond its JGR cap")
+		}
+		data := NewParcel()
+		data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+		err := svc.Binder().Transact(1, data, nil)
+		if err != nil && !r.server.Alive() {
+			break // runtime aborted mid-call
+		}
+		r.server.VM().GC() // GC must not help: refs are retained
+	}
+	if r.server.Alive() {
+		t.Fatal("JGRE attack failed against retainer service")
+	}
+	if r.k.SoftReboots() != 1 {
+		t.Fatalf("SoftReboots = %d, want 1 (system_server died)", r.k.SoftReboots())
+	}
+	if r.app.Alive() {
+		t.Fatal("attacker survived the soft reboot")
+	}
+}
+
+func TestProxyCachePreventsDuplicateJGR(t *testing.T) {
+	var retained []*BinderRef
+	r := newRig(t, art.Config{})
+	r.registerRetainer(t, "vuln", &retained)
+	svc, _ := r.sm.GetService("vuln", r.app)
+
+	// Sending the SAME binder repeatedly must not grow the victim's
+	// table: javaObjectForIBinder returns the cached proxy.
+	token := r.d.NewLocalBinder(r.app, "android.os.Binder", nil)
+	base := r.server.VM().GlobalRefCount()
+	for i := 0; i < 20; i++ {
+		data := NewParcel()
+		data.WriteStrongBinder(token)
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.server.VM().GlobalRefCount(); got != base+1 {
+		t.Fatalf("server JGR = %d, want %d (one proxy for one node)", got, base+1)
+	}
+}
+
+func TestSenderSideJavaBBinderRef(t *testing.T) {
+	var retained []*BinderRef
+	r := newRig(t, art.Config{})
+	r.registerRetainer(t, "vuln", &retained)
+	svc, _ := r.sm.GetService("vuln", r.app)
+
+	appBase := r.app.VM().GlobalRefCount()
+	const n = 25
+	for i := 0; i < n; i++ {
+		data := NewParcel()
+		data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The attacker's own table grows too: one JavaBBinder pin per token
+	// with a live remote reference (§III-C2's nativeWriteStrongBinder).
+	if got := r.app.VM().GlobalRefCount(); got != appBase+n {
+		t.Fatalf("attacker JGR = %d, want %d", got, appBase+n)
+	}
+	// Releasing the service side frees the sender pins.
+	for _, ref := range retained {
+		ref.Release()
+	}
+	if got := r.app.VM().GlobalRefCount(); got != appBase {
+		t.Fatalf("attacker JGR after release = %d, want %d", got, appBase)
+	}
+}
+
+func TestDeathRecipientFreesServiceSide(t *testing.T) {
+	r := newRig(t, art.Config{})
+	type entry struct {
+		ref  *BinderRef
+		link *DeathLink
+	}
+	var entries []*entry
+	stub := r.d.NewLocalBinder(r.server, "ListenerService", TransactorFunc(func(c *Call) error {
+		ref, err := c.Data.ReadStrongBinder()
+		if err != nil {
+			return err
+		}
+		ref.Retain()
+		e := &entry{ref: ref}
+		link, err := ref.Binder().LinkToDeath(func() { e.ref.Release() })
+		if err != nil {
+			return err
+		}
+		e.link = link
+		entries = append(entries, e)
+		return nil
+	}))
+	r.sm.AddService("listener", stub)
+	svc, _ := r.sm.GetService("listener", r.app)
+
+	// base is 1: the app's proxy on the service stub pins the stub's
+	// owner-side JavaBBinder reference in the server.
+	base := r.server.VM().GlobalRefCount()
+	if base != 1 {
+		t.Fatalf("baseline server JGR = %d, want 1 (stub owner pin)", base)
+	}
+	for i := 0; i < 10; i++ {
+		data := NewParcel()
+		data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 retained proxies + 10 death-recipient refs.
+	if got := r.server.VM().GlobalRefCount(); got != base+20 {
+		t.Fatalf("server JGR = %d, want %d", got, base+20)
+	}
+	// Client death fires recipients; the service releases everything,
+	// and the dead client's proxy on the stub releases the owner pin too.
+	r.k.Kill(r.app.Pid(), "user removed app")
+	if got := r.server.VM().GlobalRefCount(); got != 0 {
+		t.Fatalf("server JGR after client death = %d, want 0", got)
+	}
+}
+
+func TestDeathLinkUnlink(t *testing.T) {
+	r := newRig(t, art.Config{})
+	token := r.d.NewLocalBinder(r.app, "android.os.Binder", nil)
+	ref, err := r.d.Materialize(r.server, token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	link, err := ref.Binder().LinkToDeath(func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Unlink()
+	link.Unlink() // idempotent
+	r.k.Kill(r.app.Pid(), "bye")
+	if fired {
+		t.Fatal("unlinked death recipient fired")
+	}
+}
+
+func TestLinkToDeathOnLocalBinder(t *testing.T) {
+	r := newRig(t, art.Config{})
+	lb := r.d.NewLocalBinder(r.server, "x", nil)
+	if _, err := lb.LinkToDeath(func() {}); !errors.Is(err, ErrLocalBinder) {
+		t.Fatalf("error = %v, want ErrLocalBinder", err)
+	}
+}
+
+func TestDeadObject(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	svc, _ := r.sm.GetService("echo", r.app)
+	r.k.Kill(r.server.Pid(), "crash")
+
+	data := NewParcel()
+	data.WriteInt32(1)
+	if err := svc.Binder().Transact(1, data, nil); !errors.Is(err, ErrDeadObject) {
+		t.Fatalf("transact to dead service error = %v, want ErrDeadObject", err)
+	}
+	if svc.Binder().IsAlive() {
+		t.Fatal("proxy to dead service claims alive")
+	}
+	if _, err := svc.Binder().LinkToDeath(func() {}); !errors.Is(err, ErrDeadObject) {
+		t.Fatalf("linkToDeath on dead error = %v", err)
+	}
+}
+
+func TestTokenBinderRejectsTransactions(t *testing.T) {
+	r := newRig(t, art.Config{})
+	token := r.d.NewLocalBinder(r.app, "android.os.Binder", nil)
+	ref, _ := r.d.Materialize(r.server, token)
+	if err := ref.Binder().Transact(1, nil, nil); !errors.Is(err, ErrUnknownTransaction) {
+		t.Fatalf("error = %v, want ErrUnknownTransaction", err)
+	}
+}
+
+func TestLocalBinderDirectTransact(t *testing.T) {
+	r := newRig(t, art.Config{})
+	stub := r.d.NewLocalBinder(r.server, "Local", TransactorFunc(func(c *Call) error {
+		c.Reply.WriteString("ok")
+		return nil
+	}))
+	reply := NewParcel()
+	tx0 := r.d.TotalTransactions()
+	if err := stub.Transact(1, nil, reply); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := reply.ReadString(); s != "ok" {
+		t.Fatalf("reply = %q", s)
+	}
+	if r.d.TotalTransactions() != tx0 {
+		t.Fatal("in-process transact crossed the driver")
+	}
+}
+
+func TestServiceManager(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	if err := r.sm.AddService("echo", r.d.NewLocalBinder(r.server, "x", nil)); !errors.Is(err, ErrServiceExists) {
+		t.Fatalf("duplicate add error = %v", err)
+	}
+	// App-owned binders cannot register.
+	appBinder := r.d.NewLocalBinder(r.app, "x", nil)
+	if err := r.sm.AddService("evil", appBinder); !errors.Is(err, ErrNotSystem) {
+		t.Fatalf("app register error = %v", err)
+	}
+	if _, err := r.sm.GetService("nope", r.app); !errors.Is(err, ErrServiceNotFound) {
+		t.Fatalf("missing service error = %v", err)
+	}
+	if !r.sm.CheckService("echo") || r.sm.CheckService("nope") {
+		t.Fatal("CheckService wrong")
+	}
+	got := r.sm.ListServices()
+	if len(got) != 1 || got[0] != "echo" {
+		t.Fatalf("ListServices = %v", got)
+	}
+	r.sm.Clear()
+	if len(r.sm.ListServices()) != 0 {
+		t.Fatal("Clear left services behind")
+	}
+}
+
+func TestIPCLoggingToProcFS(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	svc, _ := r.sm.GetService("echo", r.app)
+
+	if err := r.d.EnableIPCLogging(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.d.EnableIPCLogging(); err != nil {
+		t.Fatalf("EnableIPCLogging not idempotent: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		data := NewParcel()
+		data.WriteInt32(int32(i))
+		if err := svc.Binder().Transact(7, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := r.d.FlushLog()
+	if err != nil || n != 3 {
+		t.Fatalf("FlushLog = %d, %v; want 3", n, err)
+	}
+	recs, err := r.d.ReadLog(kernel.SystemUid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	rec := recs[0]
+	if rec.FromPid != r.app.Pid() || rec.FromUid != r.app.Uid() || rec.ToPid != r.server.Pid() || rec.Code != 7 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// Third-party apps cannot read the evidence.
+	if _, err := r.d.ReadLog(r.app.Uid()); !errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Fatalf("app read error = %v, want permission denied", err)
+	}
+	// Truncation clears the file.
+	if err := r.d.TruncateLog(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = r.d.ReadLog(kernel.SystemUid)
+	if len(recs) != 0 {
+		t.Fatalf("after truncate: %d records", len(recs))
+	}
+}
+
+func TestLoggingAddsLatency(t *testing.T) {
+	r := newRig(t, art.Config{})
+	r.registerEcho(t, "echo")
+	svc, _ := r.sm.GetService("echo", r.app)
+
+	run := func() time.Duration {
+		data := NewParcel()
+		data.WriteInt32(1)
+		t0 := r.clock.Now()
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+		return r.clock.Now() - t0
+	}
+	stock := run()
+	r.d.EnableIPCLogging()
+	logged := run()
+	r.d.DisableIPCLogging()
+	if !r.d.LoggingEnabled() == false {
+		t.Fatal("DisableIPCLogging did not take")
+	}
+	if logged <= stock {
+		t.Fatalf("logging added no latency: stock=%v logged=%v", stock, logged)
+	}
+	back := run()
+	if back != stock {
+		t.Fatalf("latency after disable = %v, want %v", back, stock)
+	}
+}
+
+func TestReplyCanCarryBinder(t *testing.T) {
+	r := newRig(t, art.Config{})
+	session := r.d.NewLocalBinder(r.server, "Session", TransactorFunc(func(c *Call) error {
+		c.Reply.WriteString("session-data")
+		return nil
+	}))
+	stub := r.d.NewLocalBinder(r.server, "Factory", TransactorFunc(func(c *Call) error {
+		c.Reply.WriteStrongBinder(session)
+		return nil
+	}))
+	r.sm.AddService("factory", stub)
+	svc, _ := r.sm.GetService("factory", r.app)
+
+	reply := NewParcel()
+	if err := svc.Binder().Transact(1, nil, reply); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := reply.ReadStrongBinder()
+	if err != nil || sess == nil {
+		t.Fatalf("ReadStrongBinder from reply: %v, %v", sess, err)
+	}
+	r2 := NewParcel()
+	if err := sess.Binder().Transact(2, nil, r2); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := r2.ReadString(); s != "session-data" {
+		t.Fatalf("session reply = %q", s)
+	}
+}
+
+func BenchmarkTransactSmall(b *testing.B) {
+	clock := simclock.New()
+	k := kernel.New(clock, kernel.Config{})
+	d := New(k, Config{})
+	server := k.Spawn(kernel.SpawnConfig{Name: kernel.SystemServerName, Uid: kernel.SystemUid, OomScoreAdj: kernel.SystemAdj})
+	app := k.Spawn(kernel.SpawnConfig{Name: "app", Uid: 10001})
+	sm := NewServiceManager(d)
+	stub := d.NewLocalBinder(server, "Echo", TransactorFunc(func(c *Call) error {
+		v, _ := c.Data.ReadInt32()
+		c.Reply.WriteInt32(v)
+		return nil
+	}))
+	sm.AddService("echo", stub)
+	svc, _ := sm.GetService("echo", app)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, reply := NewParcel(), NewParcel()
+		data.WriteInt32(int32(i))
+		if err := svc.Binder().Transact(1, data, reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLocalFrameHygiene: transactions run in their own JNI local frame,
+// so thousands of calls leave the root frame untouched — local references
+// cannot be exhausted across calls (paper §II-A).
+func TestLocalFrameHygiene(t *testing.T) {
+	r := newRig(t, art.Config{})
+	var retained []*BinderRef
+	r.registerRetainer(t, "vuln", &retained)
+	svc, _ := r.sm.GetService("vuln", r.app)
+	for i := 0; i < 2000; i++ {
+		data := NewParcel()
+		data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+		if err := svc.Binder().Transact(1, data, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.server.VM().LocalRefCount(); got != 0 {
+		t.Fatalf("root-frame local refs = %d, want 0", got)
+	}
+	if got := r.server.VM().GlobalRefCount(); got < 2000 {
+		t.Fatalf("global refs = %d; retention must use the global table", got)
+	}
+}

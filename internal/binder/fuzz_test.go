@@ -1,0 +1,28 @@
+package binder
+
+import "testing"
+
+// FuzzParseIPCRecord hardens the procfs log parser against arbitrary
+// input: it must never panic, and anything it accepts must re-serialize
+// to a line it parses back to the same record.
+func FuzzParseIPCRecord(f *testing.F) {
+	f.Add("1 100 10 10061 2 7 3 512")
+	f.Add("")
+	f.Add("not a record at all")
+	f.Add("1 2 3 4 5 6 7")
+	f.Add("-1 -2 -3 -4 -5 -6 -7 -8")
+	f.Add("99999999999999999999 1 1 1 1 1 1 1")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseIPCRecord(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseIPCRecord(r.String())
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse failed: %v", line, err)
+		}
+		if again != r {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r, again)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package binder
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+func TestParcelRoundTrip(t *testing.T) {
+	p := NewParcel()
+	p.WriteInt32(-7)
+	p.WriteInt64(1 << 40)
+	p.WriteString("clipboard")
+	p.WriteBytes([]byte{1, 2, 3})
+
+	if got, err := p.ReadInt32(); err != nil || got != -7 {
+		t.Fatalf("ReadInt32 = %d, %v", got, err)
+	}
+	if got, err := p.ReadInt64(); err != nil || got != 1<<40 {
+		t.Fatalf("ReadInt64 = %d, %v", got, err)
+	}
+	if got, err := p.ReadString(); err != nil || got != "clipboard" {
+		t.Fatalf("ReadString = %q, %v", got, err)
+	}
+	if got, err := p.ReadBytes(); err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("ReadBytes = %v, %v", got, err)
+	}
+	if _, err := p.ReadInt32(); !errors.Is(err, ErrParcelExhausted) {
+		t.Fatalf("read past end error = %v, want ErrParcelExhausted", err)
+	}
+}
+
+func TestParcelTypeMismatch(t *testing.T) {
+	p := NewParcel()
+	p.WriteString("x")
+	_, err := p.ReadInt32()
+	var tm *TypeMismatchError
+	if !errors.As(err, &tm) {
+		t.Fatalf("error = %v, want TypeMismatchError", err)
+	}
+	if tm.Want != "int32" || tm.Got != "string" {
+		t.Fatalf("mismatch detail = %+v", tm)
+	}
+	// The failed read must not consume the item.
+	if got, err := p.ReadString(); err != nil || got != "x" {
+		t.Fatalf("ReadString after mismatch = %q, %v", got, err)
+	}
+}
+
+func TestParcelBytesAreCopied(t *testing.T) {
+	src := []byte{9, 9, 9}
+	p := NewParcel()
+	p.WriteBytes(src)
+	src[0] = 1 // mutating the source must not affect the parcel
+	got, err := p.ReadBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatal("parcel aliased the caller's byte slice")
+	}
+	got[1] = 7 // mutating the read result must not affect the parcel either
+	p.pos = 0
+	again, _ := p.ReadBytes()
+	if again[1] != 9 {
+		t.Fatal("parcel aliased the reader's byte slice")
+	}
+}
+
+func TestParcelSizeBytes(t *testing.T) {
+	p := NewParcel()
+	if p.SizeBytes() != 0 {
+		t.Fatalf("empty parcel size = %d", p.SizeBytes())
+	}
+	p.WriteInt32(1)          // 4
+	p.WriteInt64(2)          // 8
+	p.WriteString("ab")      // 4 + 2*2
+	p.WriteBytes([]byte{1})  // 4 + 1
+	p.WriteStrongBinder(nil) // 24
+	if got, want := p.SizeBytes(), 4+8+8+5+24; got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestParcelReset(t *testing.T) {
+	p := NewParcel()
+	p.WriteInt32(5)
+	p.Reset()
+	if p.Len() != 0 || p.SizeBytes() != 0 {
+		t.Fatal("Reset did not clear the parcel")
+	}
+	if _, err := p.ReadInt32(); !errors.Is(err, ErrParcelExhausted) {
+		t.Fatal("read after Reset should be exhausted")
+	}
+}
+
+func TestReadStrongBinderUnattached(t *testing.T) {
+	p := NewParcel()
+	p.WriteStrongBinder(&LocalBinder{})
+	if _, err := p.ReadStrongBinder(); err == nil {
+		t.Fatal("ReadStrongBinder on unattached parcel should fail")
+	}
+}
+
+func TestReadNilStrongBinder(t *testing.T) {
+	p := NewParcel()
+	p.WriteStrongBinder(nil)
+	ref, err := p.ReadStrongBinder()
+	if err != nil || ref != nil {
+		t.Fatalf("nil binder read = %v, %v; want nil, nil", ref, err)
+	}
+}
+
+// Property: any sequence of scalar writes reads back identically.
+func TestQuickParcelRoundTrip(t *testing.T) {
+	type rec struct {
+		I32 int32
+		I64 int64
+		S   string
+		B   []byte
+	}
+	f := func(recs []rec) bool {
+		p := NewParcel()
+		for _, r := range recs {
+			p.WriteInt32(r.I32)
+			p.WriteInt64(r.I64)
+			p.WriteString(r.S)
+			p.WriteBytes(r.B)
+		}
+		for _, r := range recs {
+			i32, err := p.ReadInt32()
+			if err != nil || i32 != r.I32 {
+				return false
+			}
+			i64, err := p.ReadInt64()
+			if err != nil || i64 != r.I64 {
+				return false
+			}
+			s, err := p.ReadString()
+			if err != nil || s != r.S {
+				return false
+			}
+			b, err := p.ReadBytes()
+			if err != nil || !bytes.Equal(b, r.B) {
+				return false
+			}
+		}
+		_, err := p.ReadInt32()
+		return errors.Is(err, ErrParcelExhausted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIPCRecordRoundTrip(t *testing.T) {
+	r := IPCRecord{Seq: 42, Time: 1234567 * 1000, FromPid: 101, FromUid: 10061, ToPid: 2, Handle: 7, Code: 3, Size: 512}
+	got, err := ParseIPCRecord(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip = %+v, want %+v", got, r)
+	}
+}
+
+func TestParseIPCRecordMalformed(t *testing.T) {
+	for _, line := range []string{"", "1 2 3", "a b c d e f g h"} {
+		if _, err := ParseIPCRecord(line); err == nil {
+			t.Errorf("ParseIPCRecord(%q) did not fail", line)
+		}
+	}
+}
+
+// Property: every syntactically valid record round-trips through the
+// procfs text format.
+func TestQuickIPCRecordRoundTrip(t *testing.T) {
+	f := func(seq uint64, us uint32, fromPid, toPid uint16, fromUid uint16, handle uint16, code uint16, size uint16) bool {
+		r := IPCRecord{
+			Seq:     seq,
+			Time:    time.Duration(us) * time.Microsecond,
+			FromPid: kernel.Pid(fromPid),
+			FromUid: kernel.Uid(fromUid),
+			ToPid:   kernel.Pid(toPid),
+			Handle:  Handle(handle),
+			Code:    TxCode(code),
+			Size:    int(size),
+		}
+		got, err := ParseIPCRecord(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package binder
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+)
+
+// ServiceManager is the binder context manager: the registry mapping
+// service names to binder objects. System services register themselves at
+// boot (addService / publishBinderService, paper §III-A); any app can look
+// a service up and talk to it directly — which is exactly how malicious
+// apps bypass the protections baked into service helper classes
+// (Code-Snippet 2 calls ServiceManager.getService("wifi") and hits the raw
+// IWifiManager interface).
+type ServiceManager struct {
+	driver   *Driver
+	services map[string]*LocalBinder
+}
+
+// Registration errors.
+var (
+	ErrServiceExists   = errors.New("servicemanager: service already registered")
+	ErrServiceNotFound = errors.New("servicemanager: service not found")
+	ErrNotSystem       = errors.New("servicemanager: only system processes may register services")
+)
+
+// NewServiceManager creates an empty registry on the driver.
+func NewServiceManager(d *Driver) *ServiceManager {
+	return &ServiceManager{driver: d, services: make(map[string]*LocalBinder)}
+}
+
+// AddService registers a service binder under name. Only non-app uids may
+// register (SELinux confines servicemanager registration to system
+// domains).
+func (sm *ServiceManager) AddService(name string, b *LocalBinder) error {
+	if name == "" {
+		return errors.New("servicemanager: empty service name")
+	}
+	if b == nil {
+		return errors.New("servicemanager: nil binder")
+	}
+	if kernel.IsAppUid(b.Owner().Uid()) {
+		return fmt.Errorf("register %q from uid %d: %w", name, b.Owner().Uid(), ErrNotSystem)
+	}
+	if _, ok := sm.services[name]; ok {
+		return fmt.Errorf("register %q: %w", name, ErrServiceExists)
+	}
+	sm.services[name] = b
+	return nil
+}
+
+// RemoveService drops a registration (used on soft reboot).
+func (sm *ServiceManager) RemoveService(name string) {
+	delete(sm.services, name)
+}
+
+// Clear drops every registration (soft reboot).
+func (sm *ServiceManager) Clear() {
+	sm.services = make(map[string]*LocalBinder)
+}
+
+// GetService returns client's handle on the named service: a retained
+// proxy whose JGR lives in the client process, as the framework caches
+// service binders process-wide.
+func (sm *ServiceManager) GetService(name string, client *kernel.Process) (*BinderRef, error) {
+	b, ok := sm.services[name]
+	if !ok {
+		return nil, fmt.Errorf("get %q: %w", name, ErrServiceNotFound)
+	}
+	if !b.IsAlive() {
+		return nil, fmt.Errorf("get %q: %w", name, ErrDeadObject)
+	}
+	return sm.driver.Materialize(client, b)
+}
+
+// CheckService reports whether a live service is registered under name.
+func (sm *ServiceManager) CheckService(name string) bool {
+	b, ok := sm.services[name]
+	return ok && b.IsAlive()
+}
+
+// ListServices returns all registered service names, sorted — the
+// `service list` view the paper's IPC method extractor starts from.
+func (sm *ServiceManager) ListServices() []string {
+	out := make([]string, 0, len(sm.services))
+	for name := range sm.services {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

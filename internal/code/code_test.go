@@ -1,0 +1,159 @@
+package code
+
+import "testing"
+
+func TestMethodIDRoundTrip(t *testing.T) {
+	id := MakeMethodID("com.android.server.Foo", "register")
+	c, m := id.Split()
+	if c != "com.android.server.Foo" || m != "register" {
+		t.Fatalf("Split = %q, %q", c, m)
+	}
+}
+
+func TestMethodLookup(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(&Class{
+		Name:    "A",
+		Methods: []*Method{{ID: MakeMethodID("A", "x"), Class: "A", Name: "x"}},
+	})
+	if p.Method(MakeMethodID("A", "x")) == nil {
+		t.Fatal("method not found")
+	}
+	if p.Method(MakeMethodID("A", "y")) != nil || p.Method(MakeMethodID("B", "x")) != nil {
+		t.Fatal("phantom method found")
+	}
+	if p.MethodCount() != 1 {
+		t.Fatalf("MethodCount = %d", p.MethodCount())
+	}
+}
+
+func TestDuplicateClassPanics(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(&Class{Name: "A"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddClass did not panic")
+		}
+	}()
+	p.AddClass(&Class{Name: "A"})
+}
+
+func TestImplementsTransitively(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(&Class{Name: "Base", Implements: []string{"IFoo"}})
+	p.AddClass(&Class{Name: "Mid", Super: "Base"})
+	p.AddClass(&Class{Name: "Leaf", Super: "Mid"})
+	if !p.ImplementsTransitively("Leaf", "IFoo") {
+		t.Fatal("transitive interface not found")
+	}
+	if p.ImplementsTransitively("Leaf", "IBar") {
+		t.Fatal("phantom interface")
+	}
+	chain := p.SuperChain("Leaf")
+	if len(chain) != 2 || chain[0] != "Mid" || chain[1] != "Base" {
+		t.Fatalf("SuperChain = %v", chain)
+	}
+}
+
+func TestReachableMethodsFollowsHandlers(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(&Class{Name: "Svc", Methods: []*Method{
+		{ID: "Svc#entry", Class: "Svc", Name: "entry", Calls: []CallSite{
+			{Callee: "Svc#helper"},
+			{Callee: "android.os.Handler#sendMessage", HandlerClass: "Svc$H"},
+		}},
+		{ID: "Svc#helper", Class: "Svc", Name: "helper"},
+		{ID: "Svc#unrelated", Class: "Svc", Name: "unrelated"},
+	}})
+	p.AddClass(&Class{Name: "Svc$H", Methods: []*Method{
+		{ID: "Svc$H#handleMessage", Class: "Svc$H", Name: "handleMessage", Calls: []CallSite{
+			{Callee: "Svc$H#deep"},
+		}},
+		{ID: "Svc$H#deep", Class: "Svc$H", Name: "deep"},
+	}})
+	reach := p.ReachableMethods("Svc#entry")
+	for _, want := range []MethodID{"Svc#entry", "Svc#helper", "Svc$H#handleMessage", "Svc$H#deep"} {
+		if !reach[want] {
+			t.Errorf("%s not reachable", want)
+		}
+	}
+	if reach["Svc#unrelated"] {
+		t.Error("unrelated method reachable")
+	}
+}
+
+func TestReachableHandlesCycles(t *testing.T) {
+	p := NewProgram()
+	p.AddClass(&Class{Name: "C", Methods: []*Method{
+		{ID: "C#a", Class: "C", Name: "a", Calls: []CallSite{{Callee: "C#b"}}},
+		{ID: "C#b", Class: "C", Name: "b", Calls: []CallSite{{Callee: "C#a"}}},
+	}})
+	reach := p.ReachableMethods("C#a")
+	if len(reach) != 2 {
+		t.Fatalf("reach = %v", reach)
+	}
+}
+
+func TestNativePathCount(t *testing.T) {
+	p := NewProgram()
+	// root → {m1, m2} → add; m1 also calls add directly twice = parallel edges.
+	p.AddNative(&NativeFunc{Name: "root", JNIEntry: true, Calls: []string{"m1", "m2"}})
+	p.AddNative(&NativeFunc{Name: "m1", Calls: []string{"add", "add"}})
+	p.AddNative(&NativeFunc{Name: "m2", Calls: []string{"add"}})
+	p.AddNative(&NativeFunc{Name: "add"})
+	if got := p.NativePathCount("root", "add"); got != 3 {
+		t.Fatalf("path count = %d, want 3", got)
+	}
+	if got := p.NativePathCount("m2", "add"); got != 1 {
+		t.Fatalf("m2 path count = %d, want 1", got)
+	}
+	if got := p.NativePathCount("add", "nothing"); got != 0 {
+		t.Fatalf("no-path count = %d, want 0", got)
+	}
+}
+
+func TestNativePathSummarySplitsInitOnly(t *testing.T) {
+	p := NewProgram()
+	p.AddNative(&NativeFunc{Name: "jni1", JNIEntry: true, Calls: []string{"add"}})
+	p.AddNative(&NativeFunc{Name: "jni2", JNIEntry: true, Calls: []string{"add", "add"}})
+	p.AddNative(&NativeFunc{Name: "CacheClass", InitOnly: true, Calls: []string{"add"}})
+	p.AddNative(&NativeFunc{Name: "noPath", JNIEntry: true})
+	p.AddNative(&NativeFunc{Name: "add"})
+	s := p.SummarizeNativePaths("add")
+	if s.TotalPaths != 4 || s.InitOnlyPaths != 1 || s.ReachablePaths() != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.ByRoot["jni2"] != 2 || s.ByRoot["CacheClass"] != 1 {
+		t.Fatalf("ByRoot = %v", s.ByRoot)
+	}
+	if _, ok := s.ByRoot["noPath"]; ok {
+		t.Fatal("rootless function in ByRoot")
+	}
+}
+
+func TestNativeCycleDetection(t *testing.T) {
+	p := NewProgram()
+	p.AddNative(&NativeFunc{Name: "a", JNIEntry: true, Calls: []string{"b"}})
+	p.AddNative(&NativeFunc{Name: "b", Calls: []string{"a", "add"}})
+	p.AddNative(&NativeFunc{Name: "add"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cycle did not panic")
+		}
+	}()
+	p.NativePathCount("a", "add")
+}
+
+func TestParamTypeCarriesBinder(t *testing.T) {
+	carrying := []ParamType{ParamBinder, ParamInterface, ParamObjectWithBinder, ParamBinderArray}
+	for _, pt := range carrying {
+		if !pt.CarriesBinder() {
+			t.Errorf("%v should carry a binder", pt)
+		}
+	}
+	for _, pt := range []ParamType{ParamOther, ParamList} {
+		if pt.CarriesBinder() {
+			t.Errorf("%v should not (directly) carry a binder", pt)
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package corpus synthesizes an AOSP-6.0.1-like program in the
+// internal/code model: framework classes (Parcel, BinderProxy,
+// RemoteCallbackList, Thread), the ART native layer with its 147 call
+// paths into IndirectReferenceTable::Add (67 of them init-only), all 104
+// system services with their AIDL interfaces and registrations, the
+// prebuilt core apps of Table IV, and an optional 1,000-app third-party
+// population for Table V.
+//
+// The catalog is the ground truth the corpus encodes; the analysis
+// pipeline (internal/analysis) is validated by recovering that truth from
+// the synthesized program without consulting the catalog.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/code"
+	"repro/internal/services"
+)
+
+// Well-known model names shared with the analysis package.
+const (
+	// AddTarget is the JGR table insertion routine every relevant native
+	// path ends at (§III-B).
+	AddTarget = "IndirectReferenceTable::Add"
+
+	ServiceManagerAdd  = code.MethodID("android.os.ServiceManager#addService")
+	PublishBinderSvc   = code.MethodID("com.android.server.SystemService#publishBinderService")
+	HandlerSendMessage = code.MethodID("android.os.Handler#sendMessage")
+
+	ParcelReadStrongBinder  = code.MethodID("android.os.Parcel#nativeReadStrongBinder")
+	ParcelWriteStrongBinder = code.MethodID("android.os.Parcel#nativeWriteStrongBinder")
+	ThreadNativeCreate      = code.MethodID("java.lang.Thread#nativeCreate")
+	LinkToDeathNative       = code.MethodID("android.os.BinderProxy#linkToDeathNative")
+
+	// SignatureDistractorPermission guards the planted risky-but-
+	// unreachable methods the permission sifter must discard.
+	SignatureDistractorPermission = "BIND_DEVICE_ADMIN"
+)
+
+// DistractorMethodsPerService is the number of plain (binder-free)
+// methods each service exposes besides its catalogued and innocent ones,
+// sized so the whole program offers the "thousands of IPC methods" the
+// paper reports.
+const DistractorMethodsPerService = 12
+
+// Options selects corpus parts.
+type Options struct {
+	// ThirdPartyApps adds a Google-Play-like population of this many
+	// apps (3 of them vulnerable, per Table V). 0 adds none.
+	ThirdPartyApps int
+}
+
+// Corpus is a generated program plus the name tables tests and the
+// verifier need.
+type Corpus struct {
+	Program *code.Program
+	// SystemStubClasses maps service registry names to impl classes.
+	SystemStubClasses map[string]string
+	// ThirdPartyVulnerable lists the class names of planted Table V
+	// vulnerabilities (for tests).
+	ThirdPartyVulnerable []string
+}
+
+// InterfaceNameFor derives the AIDL interface name of a service
+// ("telephony.registry" → "ITelephonyRegistry").
+func InterfaceNameFor(service string) string {
+	var b strings.Builder
+	b.WriteByte('I')
+	up := true
+	for _, r := range service {
+		switch {
+		case r == '.' || r == '_':
+			up = true
+		case up:
+			b.WriteString(strings.ToUpper(string(r)))
+			up = false
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Generate builds the corpus deterministically.
+func Generate(opts Options) *Corpus {
+	c := &Corpus{
+		Program:           code.NewProgram(),
+		SystemStubClasses: make(map[string]string),
+	}
+	c.addNativeLayer()
+	c.addFramework()
+	c.addSystemServices()
+	c.addPrebuiltApps()
+	if opts.ThirdPartyApps > 0 {
+		c.addThirdPartyApps(opts.ThirdPartyApps)
+	}
+	return c
+}
+
+// jniRoot describes one native root with its path count into AddTarget.
+type jniRoot struct {
+	name  string
+	via   string // intermediate helper ("" for a direct chain)
+	paths int
+	init  bool
+}
+
+// nativeRoots fixes the §III-B1 funnel: JNI-entry roots summing to 80
+// reachable paths and init-only roots summing to 67.
+var nativeRoots = []jniRoot{
+	{name: "android_os_Parcel_readStrongBinder", via: "javaObjectForIBinder", paths: 6},
+	{name: "android_os_Parcel_writeStrongBinder", via: "ibinderForJavaObject", paths: 4},
+	{name: "android_os_BinderProxy_linkToDeath", via: "JavaDeathRecipient::JavaDeathRecipient", paths: 3},
+	{name: "Thread_nativeCreate", via: "Thread::CreateNativeThread", paths: 2},
+	{name: "android_media_MediaPlayer_native_setup", paths: 5},
+	{name: "android_view_Surface_nativeCreateFromSurfaceTexture", paths: 4},
+	{name: "android_hardware_Camera_native_setup", paths: 5},
+	{name: "android_os_MessageQueue_nativeInit", paths: 2},
+	{name: "android_graphics_Bitmap_nativeCreate", paths: 3},
+	{name: "android_database_CursorWindow_nativeCreate", paths: 2},
+	{name: "android_media_AudioTrack_native_setup", paths: 4},
+	{name: "android_media_AudioRecord_native_setup", paths: 4},
+	{name: "android_net_LocalSocketImpl_connectLocal", paths: 2},
+	{name: "android_view_inputmethod_InputMethodManager_nativeInit", paths: 2},
+	{name: "android_opengl_EGL14_eglCreateContext", paths: 3},
+	{name: "android_app_NativeActivity_loadNativeCode", paths: 4},
+	{name: "android_webkit_WebViewFactory_nativeCreate", paths: 3},
+	{name: "android_ddm_DdmHandle_nativeInit", paths: 2},
+	{name: "libcore_io_Posix_socket", paths: 2},
+	{name: "android_content_res_AssetManager_nativeCreate", paths: 3},
+	{name: "android_text_StaticLayout_nativeInit", paths: 2},
+	{name: "android_os_SELinux_getContext", paths: 1},
+	{name: "android_security_Keystore_nativeBind", paths: 3},
+	{name: "android_nfc_NativeNfcManager_initialize", paths: 4},
+	{name: "android_media_JetPlayer_native_setup", paths: 3},
+	{name: "android_speech_srec_Recognizer_nativeInit", paths: 2},
+
+	// Runtime-initialization roots: reachable only while the runtime
+	// boots, filtered by the JGR entry extractor (§III-B1's 67).
+	{name: "WellKnownClasses::CacheClass", paths: 24, init: true},
+	{name: "WellKnownClasses::CachePrimitive", paths: 11, init: true},
+	{name: "Runtime::InitNativeMethods", paths: 9, init: true},
+	{name: "JavaVMExt::LoadNativeLibrary", paths: 8, init: true},
+	{name: "ClassLinker::InitFromBootImage", paths: 7, init: true},
+	{name: "Thread::Startup", paths: 5, init: true},
+	{name: "InternTable::PreZygoteFork", paths: 3, init: true},
+}
+
+// addNativeLayer builds the native call graph and JNI registrations.
+func (c *Corpus) addNativeLayer() {
+	p := c.Program
+	p.AddNative(&code.NativeFunc{Name: AddTarget})
+	p.AddNative(&code.NativeFunc{
+		Name:  "art::JavaVMExt::AddGlobalRef",
+		Calls: []string{AddTarget},
+	})
+	for _, r := range nativeRoots {
+		entry := r.name
+		if r.via != "" {
+			// root → helper → AddGlobalRef×n. Multiple call sites into
+			// the same helper model the multiple code paths the static
+			// search counts.
+			calls := make([]string, r.paths)
+			for i := range calls {
+				calls[i] = "art::JavaVMExt::AddGlobalRef"
+			}
+			p.AddNative(&code.NativeFunc{Name: r.via, Calls: calls})
+			p.AddNative(&code.NativeFunc{Name: entry, JNIEntry: !r.init, InitOnly: r.init, Calls: []string{r.via}})
+			continue
+		}
+		calls := make([]string, r.paths)
+		for i := range calls {
+			calls[i] = "art::JavaVMExt::AddGlobalRef"
+		}
+		p.AddNative(&code.NativeFunc{Name: entry, JNIEntry: !r.init, InitOnly: r.init, Calls: calls})
+	}
+	// Negative roots: JNI entries with no route into the JGR table.
+	for _, name := range []string{
+		"android_os_Parcel_nativeWriteInt32",
+		"android_os_Parcel_nativeReadInt32",
+		"android_os_SystemClock_uptimeMillis",
+		"android_util_Log_println_native",
+	} {
+		p.AddNative(&code.NativeFunc{Name: name, JNIEntry: true})
+	}
+	// Native service registrations (§III-A's five native services).
+	for _, s := range catalog.NativeServices() {
+		fn := fmt.Sprintf("register_%s", strings.ReplaceAll(s.Name, ".", "_"))
+		p.AddNative(&code.NativeFunc{
+			Name:             fn,
+			RegistersService: s.Name,
+			RegistersClass:   s.Class,
+		})
+	}
+
+	// JNI registrations binding Java native methods to roots.
+	regs := []code.JNIRegistration{
+		{JavaClass: "android.os.Parcel", JavaMethod: "nativeReadStrongBinder", NativeFunc: "android_os_Parcel_readStrongBinder"},
+		{JavaClass: "android.os.Parcel", JavaMethod: "nativeWriteStrongBinder", NativeFunc: "android_os_Parcel_writeStrongBinder"},
+		{JavaClass: "android.os.BinderProxy", JavaMethod: "linkToDeathNative", NativeFunc: "android_os_BinderProxy_linkToDeath"},
+		{JavaClass: "java.lang.Thread", JavaMethod: "nativeCreate", NativeFunc: "Thread_nativeCreate"},
+		// Negative registrations: native methods that never touch the
+		// JGR table.
+		{JavaClass: "android.os.Parcel", JavaMethod: "nativeWriteInt32", NativeFunc: "android_os_Parcel_nativeWriteInt32"},
+		{JavaClass: "android.os.Parcel", JavaMethod: "nativeReadInt32", NativeFunc: "android_os_Parcel_nativeReadInt32"},
+		{JavaClass: "android.os.SystemClock", JavaMethod: "uptimeMillis", NativeFunc: "android_os_SystemClock_uptimeMillis"},
+	}
+	p.JNI = append(p.JNI, regs...)
+}
+
+// addFramework creates the framework Java classes the services call into.
+func (c *Corpus) addFramework() {
+	p := c.Program
+	mk := func(class string, methods ...*code.Method) {
+		p.AddClass(&code.Class{Name: class, Methods: methods})
+	}
+	m := func(class, name string, calls ...code.CallSite) *code.Method {
+		return &code.Method{
+			ID: code.MakeMethodID(class, name), Class: class, Name: name,
+			Params: []code.ParamType{code.ParamOther}, Calls: calls,
+		}
+	}
+	nativeM := func(class, name string) *code.Method {
+		mm := m(class, name)
+		mm.NativeDecl = true
+		return mm
+	}
+
+	mk("android.os.ServiceManager", m("android.os.ServiceManager", "addService"))
+	mk("com.android.server.SystemService", m("com.android.server.SystemService", "publishBinderService"))
+	mk("android.os.Parcel",
+		m("android.os.Parcel", "readStrongBinder", code.CallSite{Callee: ParcelReadStrongBinder}),
+		m("android.os.Parcel", "writeStrongBinder", code.CallSite{Callee: ParcelWriteStrongBinder}),
+		nativeM("android.os.Parcel", "nativeReadStrongBinder"),
+		nativeM("android.os.Parcel", "nativeWriteStrongBinder"),
+		nativeM("android.os.Parcel", "nativeWriteInt32"),
+		nativeM("android.os.Parcel", "nativeReadInt32"),
+	)
+	mk("android.os.BinderProxy",
+		m("android.os.BinderProxy", "linkToDeath", code.CallSite{Callee: LinkToDeathNative}),
+		nativeM("android.os.BinderProxy", "linkToDeathNative"),
+	)
+	mk("android.os.RemoteCallbackList",
+		m("android.os.RemoteCallbackList", "register",
+			code.CallSite{Callee: code.MakeMethodID("android.os.BinderProxy", "linkToDeath")}),
+		m("android.os.RemoteCallbackList", "unregister"),
+	)
+	mk("java.lang.Thread",
+		m("java.lang.Thread", "start", code.CallSite{Callee: ThreadNativeCreate}),
+		nativeM("java.lang.Thread", "nativeCreate"),
+	)
+	mk("android.os.Handler", m("android.os.Handler", "sendMessage"))
+	mk("android.os.SystemClock", nativeM("android.os.SystemClock", "uptimeMillis"))
+}
+
+// paramScenarioFor spreads the four strong-binder transmission scenarios
+// of §III-C2 across the catalogued interfaces deterministically.
+func paramScenarioFor(full string) code.ParamType {
+	switch len(full) % 5 {
+	case 0:
+		return code.ParamBinder
+	case 1:
+		return code.ParamInterface
+	case 2:
+		return code.ParamObjectWithBinder
+	case 3:
+		return code.ParamBinderArray
+	default:
+		return code.ParamList
+	}
+}
+
+// addSystemServices emits the 104 services: AIDL interfaces, impl
+// classes, handlers, registrations, permission map entries.
+func (c *Corpus) addSystemServices() {
+	p := c.Program
+	registrar := &code.Method{
+		ID:    code.MakeMethodID("com.android.server.SystemServer", "startOtherServices"),
+		Class: "com.android.server.SystemServer", Name: "startOtherServices",
+	}
+
+	for _, meta := range catalog.Services() {
+		if meta.Native {
+			// Registered from native code; no Java model.
+			continue
+		}
+		ifaces := catalog.InterfacesForService(meta.Name)
+		ifaceName := InterfaceNameFor(meta.Name)
+		implClass := meta.Class
+		c.SystemStubClasses[meta.Name] = implClass
+
+		var declared []string
+		var methods []*code.Method
+
+		// Catalogued vulnerable rows.
+		useHandler := 0
+		for _, row := range ifaces {
+			declared = append(declared, row.Method)
+			id := code.MakeMethodID(implClass, row.Method)
+			scenario := paramScenarioFor(row.FullName())
+			m := &code.Method{
+				ID: id, Class: implClass, Name: row.Method,
+				Params: []code.ParamType{code.ParamOther, scenario},
+				Flows:  []code.BinderFlow{{Param: 1, Sink: code.SinkCollection}},
+			}
+			if scenario == code.ParamList {
+				// Resolved by the manual-annotation table (§III-C2).
+				p.ListCarriesBinder[id] = true
+			}
+			useHandler++
+			if useHandler%3 == 0 {
+				// Indirect dispatch through a message handler.
+				m.Calls = []code.CallSite{{Callee: HandlerSendMessage, HandlerClass: implClass + "$H"}}
+			} else {
+				m.Calls = []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}}
+			}
+			if row.Permission != "" {
+				p.PermissionMap[id] = string(row.Permission)
+			}
+			methods = append(methods, m)
+
+			// Paired unregister: takes the binder but only to look it up
+			// (sift rule 3 discards it).
+			un := services.UnregisterPrefix + row.Method
+			declared = append(declared, un)
+			methods = append(methods, &code.Method{
+				ID: code.MakeMethodID(implClass, un), Class: implClass, Name: un,
+				Params: []code.ParamType{code.ParamOther, code.ParamBinder},
+				Flows:  []code.BinderFlow{{Param: 1, Sink: code.SinkReadOnlyQuery}},
+				Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "unregister")}},
+			})
+		}
+
+		// The fixed innocent set (names shared with the service engine).
+		for _, in := range services.InnocentMethods {
+			declared = append(declared, in.Name)
+			id := code.MakeMethodID(implClass, in.Name)
+			m := &code.Method{ID: id, Class: implClass, Name: in.Name, Params: []code.ParamType{code.ParamOther}}
+			switch in.Behaviour {
+			case services.BehaviourThreadOnly:
+				m.Calls = []code.CallSite{{Callee: code.MakeMethodID("java.lang.Thread", "start")}}
+			case services.BehaviourLocalUse:
+				m.Params = append(m.Params, code.ParamBinder)
+				m.Flows = []code.BinderFlow{{Param: 1, Sink: code.SinkNone}}
+			case services.BehaviourReadOnly:
+				m.Params = append(m.Params, code.ParamBinder)
+				m.Flows = []code.BinderFlow{{Param: 1, Sink: code.SinkReadOnlyQuery}}
+			case services.BehaviourMemberOverwrite:
+				m.Params = append(m.Params, code.ParamInterface)
+				m.Flows = []code.BinderFlow{{Param: 1, Sink: code.SinkMemberField}}
+			}
+			methods = append(methods, m)
+		}
+
+		// Plain distractors.
+		for i := 0; i < DistractorMethodsPerService; i++ {
+			name := fmt.Sprintf("getInfo%d", i)
+			declared = append(declared, name)
+			methods = append(methods, &code.Method{
+				ID: code.MakeMethodID(implClass, name), Class: implClass, Name: name,
+				Params: []code.ParamType{code.ParamOther},
+			})
+		}
+
+		// Every fourth service plants a signature-gated retaining method:
+		// risky-looking but unreachable to third-party apps, so the
+		// permission sifter must discard it (§III-C3).
+		if len(meta.Name)%4 == 0 {
+			name := "setDeviceAdminCallback"
+			declared = append(declared, name)
+			id := code.MakeMethodID(implClass, name)
+			methods = append(methods, &code.Method{
+				ID: id, Class: implClass, Name: name,
+				Params: []code.ParamType{code.ParamOther, code.ParamInterface},
+				Flows:  []code.BinderFlow{{Param: 1, Sink: code.SinkCollection}},
+				Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}},
+			})
+			p.PermissionMap[id] = SignatureDistractorPermission
+		}
+
+		p.AddInterface(&code.Interface{Name: ifaceName, Methods: declared})
+		p.AddClass(&code.Class{Name: implClass, Implements: []string{ifaceName}, Methods: methods})
+		p.AddClass(&code.Class{Name: implClass + "$H", Methods: []*code.Method{{
+			ID: code.MakeMethodID(implClass+"$H", "handleMessage"), Class: implClass + "$H", Name: "handleMessage",
+			Params: []code.ParamType{code.ParamOther},
+			Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}},
+		}}})
+
+		registrar.Calls = append(registrar.Calls, code.CallSite{
+			Callee: ServiceManagerAdd, StringArg: meta.Name, ClassArg: implClass,
+		})
+	}
+	p.AddClass(&code.Class{Name: "com.android.server.SystemServer", Methods: []*code.Method{registrar}})
+}
+
+// addPrebuiltApps emits the Table IV application layer: the TTS base
+// class with its vulnerable default setCallback, PicoTts extending it, and
+// the two Bluetooth profile services.
+func (c *Corpus) addPrebuiltApps() {
+	p := c.Program
+
+	// android.speech.tts.TextToSpeechService: the framework base class.
+	p.AddInterface(&code.Interface{
+		Name:    "ITextToSpeechService",
+		Methods: []string{"setCallback", "speak", "stop", "isLanguageAvailable"},
+	})
+	p.AddClass(&code.Class{Name: "ITextToSpeechService$Stub", AIDLGenerated: true, Implements: []string{"ITextToSpeechService"}})
+	p.AddClass(&code.Class{
+		Name:            "android.speech.tts.TextToSpeechService",
+		Abstract:        true,
+		AsBinderReturns: "ITextToSpeechService$Stub",
+		Methods: []*code.Method{
+			{
+				ID:    code.MakeMethodID("android.speech.tts.TextToSpeechService", "setCallback"),
+				Class: "android.speech.tts.TextToSpeechService", Name: "setCallback",
+				Params: []code.ParamType{code.ParamInterface},
+				Flows:  []code.BinderFlow{{Param: 0, Sink: code.SinkCollection}},
+				Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}},
+			},
+			{ID: code.MakeMethodID("android.speech.tts.TextToSpeechService", "speak"), Class: "android.speech.tts.TextToSpeechService", Name: "speak", Params: []code.ParamType{code.ParamOther}},
+			{ID: code.MakeMethodID("android.speech.tts.TextToSpeechService", "stop"), Class: "android.speech.tts.TextToSpeechService", Name: "stop", Params: []code.ParamType{code.ParamOther}},
+			{ID: code.MakeMethodID("android.speech.tts.TextToSpeechService", "isLanguageAvailable"), Class: "android.speech.tts.TextToSpeechService", Name: "isLanguageAvailable", Params: []code.ParamType{code.ParamOther}},
+		},
+	})
+	// PicoTts: extends the base, inheriting the vulnerable default.
+	p.AddClass(&code.Class{Name: "com.svox.pico.PicoService", Super: "android.speech.tts.TextToSpeechService"})
+
+	// Bluetooth's Gatt and Adapter services.
+	addBt := func(iface, base, concrete, vulnMethod string, extra ...string) {
+		p.AddInterface(&code.Interface{Name: iface, Methods: append([]string{vulnMethod}, extra...)})
+		p.AddClass(&code.Class{Name: iface + "$Stub", AIDLGenerated: true, Implements: []string{iface}})
+		p.AddClass(&code.Class{Name: base, Abstract: true, AsBinderReturns: iface + "$Stub"})
+		var methods []*code.Method
+		methods = append(methods, &code.Method{
+			ID: code.MakeMethodID(concrete, vulnMethod), Class: concrete, Name: vulnMethod,
+			Params: []code.ParamType{code.ParamInterface},
+			Flows:  []code.BinderFlow{{Param: 0, Sink: code.SinkCollection}},
+			Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}},
+		})
+		for _, name := range extra {
+			methods = append(methods, &code.Method{
+				ID: code.MakeMethodID(concrete, name), Class: concrete, Name: name,
+				Params: []code.ParamType{code.ParamOther},
+			})
+		}
+		p.AddClass(&code.Class{Name: concrete, Super: base, Methods: methods})
+	}
+	addBt("IBluetoothGatt", "com.android.bluetooth.gatt.GattServiceBase",
+		"com.android.bluetooth.gatt.GattService", "registerServer", "readCharacteristic", "unregisterServer")
+	addBt("IBluetooth", "com.android.bluetooth.btservice.AdapterServiceBase",
+		"com.android.bluetooth.btservice.AdapterService", "registerCallback", "getState", "getName")
+}
+
+// addThirdPartyApps emits a Google-Play-like population for Table V: n
+// apps, three of which expose vulnerable IPC interfaces.
+func (c *Corpus) addThirdPartyApps(n int) {
+	p := c.Program
+
+	// Google Text-to-speech: vulnerable by extending the same base class
+	// as PicoTts.
+	p.AddClass(&code.Class{Name: "com.google.android.tts.GoogleTTSService", Super: "android.speech.tts.TextToSpeechService"})
+	c.ThirdPartyVulnerable = append(c.ThirdPartyVulnerable, "com.google.android.tts.GoogleTTSService")
+
+	// Supernet VPN: its own AIDL service retaining status callbacks.
+	p.AddInterface(&code.Interface{Name: "IOpenVPNAPIService", Methods: []string{"registerStatusCallback", "disconnect"}})
+	p.AddClass(&code.Class{Name: "IOpenVPNAPIService$Stub", AIDLGenerated: true, Implements: []string{"IOpenVPNAPIService"}})
+	p.AddClass(&code.Class{
+		Name:            "com.supernet.vpn.ExternalOpenVPNService",
+		AsBinderReturns: "IOpenVPNAPIService$Stub",
+		Methods: []*code.Method{
+			{
+				ID:    code.MakeMethodID("com.supernet.vpn.ExternalOpenVPNService", "registerStatusCallback"),
+				Class: "com.supernet.vpn.ExternalOpenVPNService", Name: "registerStatusCallback",
+				Params: []code.ParamType{code.ParamInterface},
+				Flows:  []code.BinderFlow{{Param: 0, Sink: code.SinkCollection}},
+				Calls:  []code.CallSite{{Callee: code.MakeMethodID("android.os.RemoteCallbackList", "register")}},
+			},
+			{ID: code.MakeMethodID("com.supernet.vpn.ExternalOpenVPNService", "disconnect"), Class: "com.supernet.vpn.ExternalOpenVPNService", Name: "disconnect", Params: []code.ParamType{code.ParamOther}},
+		},
+	})
+	c.ThirdPartyVulnerable = append(c.ThirdPartyVulnerable, "com.supernet.vpn.ExternalOpenVPNService")
+
+	// SnapMovie: an obfuscated service with method "a".
+	p.AddInterface(&code.Interface{Name: "IMainService", Methods: []string{"a", "b"}})
+	p.AddClass(&code.Class{Name: "IMainService$Stub", AIDLGenerated: true, Implements: []string{"IMainService"}})
+	p.AddClass(&code.Class{
+		Name:            "com.snapmovie.app.MainService",
+		AsBinderReturns: "IMainService$Stub",
+		Methods: []*code.Method{
+			{
+				ID:    code.MakeMethodID("com.snapmovie.app.MainService", "a"),
+				Class: "com.snapmovie.app.MainService", Name: "a",
+				Params: []code.ParamType{code.ParamBinder},
+				Flows:  []code.BinderFlow{{Param: 0, Sink: code.SinkCollection}},
+			},
+			{ID: code.MakeMethodID("com.snapmovie.app.MainService", "b"), Class: "com.snapmovie.app.MainService", Name: "b", Params: []code.ParamType{code.ParamOther}},
+		},
+	})
+	c.ThirdPartyVulnerable = append(c.ThirdPartyVulnerable, "com.snapmovie.app.MainService")
+
+	// The rest of the population: every 16th app exposes an innocent
+	// bound service; the others have no IPC surface at all (paper §IV-D:
+	// "few apps open IPC interface to other third-party apps").
+	for i := len(c.ThirdPartyVulnerable); i < n; i++ {
+		pkg := fmt.Sprintf("com.play.app%04d", i)
+		if i%16 != 0 {
+			p.AddClass(&code.Class{Name: pkg + ".MainActivity"})
+			continue
+		}
+		iface := fmt.Sprintf("IApp%04dService", i)
+		svcClass := pkg + ".BoundService"
+		p.AddInterface(&code.Interface{Name: iface, Methods: []string{"ping", "query"}})
+		p.AddClass(&code.Class{Name: iface + "$Stub", AIDLGenerated: true, Implements: []string{iface}})
+		p.AddClass(&code.Class{
+			Name:            svcClass,
+			AsBinderReturns: iface + "$Stub",
+			Methods: []*code.Method{
+				{ID: code.MakeMethodID(svcClass, "ping"), Class: svcClass, Name: "ping", Params: []code.ParamType{code.ParamOther}},
+				{
+					ID: code.MakeMethodID(svcClass, "query"), Class: svcClass, Name: "query",
+					Params: []code.ParamType{code.ParamOther, code.ParamBinder},
+					Flows:  []code.BinderFlow{{Param: 1, Sink: code.SinkNone}},
+				},
+			},
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/code"
+	"repro/internal/services"
+)
+
+func TestNativeFunnelExact(t *testing.T) {
+	c := Generate(Options{})
+	s := c.Program.SummarizeNativePaths(AddTarget)
+	if s.TotalPaths != catalog.NativeAddPaths {
+		t.Errorf("total paths = %d, want %d", s.TotalPaths, catalog.NativeAddPaths)
+	}
+	if s.InitOnlyPaths != catalog.NativeInitOnlyPaths {
+		t.Errorf("init-only = %d, want %d", s.InitOnlyPaths, catalog.NativeInitOnlyPaths)
+	}
+}
+
+func TestEveryJavaServiceModelled(t *testing.T) {
+	c := Generate(Options{})
+	for _, meta := range catalog.Services() {
+		if meta.Native {
+			continue
+		}
+		cls, ok := c.Program.Classes[meta.Class]
+		if !ok {
+			t.Errorf("service %s: class %s missing", meta.Name, meta.Class)
+			continue
+		}
+		iface := InterfaceNameFor(meta.Name)
+		if !c.Program.ImplementsTransitively(meta.Class, iface) {
+			t.Errorf("service %s: class does not implement %s", meta.Name, iface)
+		}
+		// Every catalogued method plus the innocent set is present.
+		names := make(map[string]bool)
+		for _, m := range cls.Methods {
+			names[m.Name] = true
+		}
+		for _, row := range catalog.InterfacesForService(meta.Name) {
+			if !names[row.Method] {
+				t.Errorf("%s: catalogued method %s not modelled", meta.Name, row.Method)
+			}
+			if !names[services.UnregisterPrefix+row.Method] {
+				t.Errorf("%s: unregister pair for %s missing", meta.Name, row.Method)
+			}
+		}
+		for _, in := range services.InnocentMethods {
+			if !names[in.Name] {
+				t.Errorf("%s: innocent method %s not modelled", meta.Name, in.Name)
+			}
+		}
+	}
+}
+
+func TestMethodNamesMatchServiceEngine(t *testing.T) {
+	// The corpus and the executable service engine must agree on method
+	// names, or dynamic verification could not drive statically found
+	// candidates.
+	c := Generate(Options{})
+	for _, meta := range catalog.Services() {
+		if meta.Native {
+			continue
+		}
+		engineNames := services.MethodNamesFor(catalog.InterfacesForService(meta.Name))
+		cls := c.Program.Classes[meta.Class]
+		modelled := make(map[string]bool)
+		for _, m := range cls.Methods {
+			modelled[m.Name] = true
+		}
+		for _, n := range engineNames {
+			if !modelled[n] {
+				t.Errorf("%s: engine method %s missing from corpus model", meta.Name, n)
+			}
+		}
+	}
+}
+
+func TestRegistrationsCoverAllServices(t *testing.T) {
+	c := Generate(Options{})
+	registrar := c.Program.Method(code.MakeMethodID("com.android.server.SystemServer", "startOtherServices"))
+	if registrar == nil {
+		t.Fatal("SystemServer registrar missing")
+	}
+	registered := make(map[string]bool)
+	for _, cs := range registrar.Calls {
+		if cs.Callee == ServiceManagerAdd {
+			registered[cs.StringArg] = true
+		}
+	}
+	nativeRegs := 0
+	for _, f := range c.Program.Natives {
+		if f.RegistersService != "" {
+			registered[f.RegistersService] = true
+			nativeRegs++
+		}
+	}
+	if len(registered) != 104 {
+		t.Errorf("registered services = %d, want 104", len(registered))
+	}
+	if nativeRegs != 5 {
+		t.Errorf("native registrations = %d, want 5", nativeRegs)
+	}
+}
+
+func TestVulnerableRowsHaveCollectionSink(t *testing.T) {
+	c := Generate(Options{})
+	for _, row := range catalog.Interfaces() {
+		meta, _ := catalog.ServiceByName(row.Service)
+		m := c.Program.Method(code.MakeMethodID(meta.Class, row.Method))
+		if m == nil {
+			t.Fatalf("%s not modelled", row.FullName())
+		}
+		hasCollection := false
+		for _, f := range m.Flows {
+			if f.Sink == code.SinkCollection {
+				hasCollection = true
+			}
+		}
+		if !hasCollection {
+			t.Errorf("%s: vulnerable row lacks a collection sink", row.FullName())
+		}
+		// List-typed scenarios must carry the manual annotation.
+		for i, pt := range m.Params {
+			if pt == code.ParamList && !c.Program.ListCarriesBinder[m.ID] {
+				t.Errorf("%s: List param %d without manual annotation", row.FullName(), i)
+			}
+		}
+	}
+}
+
+func TestPermissionMapMirrorsCatalog(t *testing.T) {
+	c := Generate(Options{})
+	for _, row := range catalog.Interfaces() {
+		meta, _ := catalog.ServiceByName(row.Service)
+		id := code.MakeMethodID(meta.Class, row.Method)
+		got := c.Program.PermissionMap[id]
+		if got != string(row.Permission) {
+			t.Errorf("%s: permission map %q, catalog %q", row.FullName(), got, row.Permission)
+		}
+	}
+}
+
+func TestThirdPartyPopulation(t *testing.T) {
+	c := Generate(Options{ThirdPartyApps: 1000})
+	if len(c.ThirdPartyVulnerable) != 3 {
+		t.Fatalf("planted vulnerable apps = %d, want 3", len(c.ThirdPartyVulnerable))
+	}
+	for _, cls := range c.ThirdPartyVulnerable {
+		if _, ok := c.Program.Classes[cls]; !ok {
+			t.Errorf("vulnerable class %s missing", cls)
+		}
+	}
+	// The population is large and mostly inert.
+	playApps := 0
+	for name := range c.Program.Classes {
+		if strings.HasPrefix(name, "com.play.app") {
+			playApps++
+		}
+	}
+	if playApps < 900 {
+		t.Errorf("play population classes = %d, want ≈1000", playApps)
+	}
+}
+
+func TestPrebuiltBaseClassInheritance(t *testing.T) {
+	c := Generate(Options{})
+	pico := c.Program.Classes["com.svox.pico.PicoService"]
+	if pico == nil {
+		t.Fatal("PicoService missing")
+	}
+	if pico.Super != "android.speech.tts.TextToSpeechService" {
+		t.Fatalf("PicoService super = %s", pico.Super)
+	}
+	// PicoService has no own methods: the vulnerable setCallback is the
+	// inherited default, exactly the paper's point (§IV-D).
+	if len(pico.Methods) != 0 {
+		t.Fatalf("PicoService defines %d methods, want 0 (inherits all)", len(pico.Methods))
+	}
+	base := c.Program.Classes["android.speech.tts.TextToSpeechService"]
+	if base == nil || !base.Abstract || base.AsBinderReturns == "" {
+		t.Fatal("TTS base class malformed")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(Options{ThirdPartyApps: 50})
+	b := Generate(Options{ThirdPartyApps: 50})
+	if a.Program.MethodCount() != b.Program.MethodCount() {
+		t.Fatal("generation not deterministic in method count")
+	}
+	if len(a.Program.Classes) != len(b.Program.Classes) {
+		t.Fatal("generation not deterministic in class count")
+	}
+}
+
+func TestInterfaceNameForEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		"media.player":       "IMediaPlayer",
+		"country_detector":   "ICountryDetector",
+		"a":                  "IA",
+		"network_management": "INetworkManagement",
+	}
+	for in, want := range cases {
+		if got := InterfaceNameFor(in); got != want {
+			t.Errorf("InterfaceNameFor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

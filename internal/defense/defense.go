@@ -1,0 +1,460 @@
+// Package defense implements the paper's JGRE countermeasure (§V): a
+// runtime extension that watches each monitored process's JGR table
+// (alarm at 4,000 new entries, defender engagement at 12,000), a binder
+// driver log consumed through /proc/jgre_ipc_log, the correlation scoring
+// of Algorithm 1 implemented over a segment tree, and an LMK-style
+// recovery loop that force-stops the top-scoring apps until the victim's
+// JGR count returns to normal.
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/binder"
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/kernel"
+	"repro/internal/segtree"
+)
+
+// Defaults from the paper.
+const (
+	// DefaultAlarmThreshold is the new-JGR count at which the runtime
+	// extension starts recording event times (§V-B: "Once the number of
+	// created JGR entries exceeds 4,000, it starts to record").
+	DefaultAlarmThreshold = 4000
+	// DefaultEngageThreshold is the new-JGR count at which the runtime
+	// notifies the JGRE Defender (§V-B: "delivers the information to
+	// JGRE defender when the number of new JGR entries exceeds 12,000").
+	DefaultEngageThreshold = 12000
+	// DefaultDelta is Δ, the bounded deviation between an IPC call and
+	// its JGR creation (§V-C: "we set Δ to the average value of all
+	// system services, i.e., 1.8 ms").
+	DefaultDelta = 1800 * time.Microsecond
+	// DefaultMaxDelay bounds the plausible IPC→JGR delay considered by
+	// the correlator; pairs further apart cannot be cause and effect.
+	DefaultMaxDelay = 250 * time.Millisecond
+	// delayBucket is the granularity of the candidate-delay axis the
+	// segment tree covers.
+	delayBucket = 100 * time.Microsecond
+	// recordCost is the per-event overhead of JGR recording once past
+	// the alarm threshold (§V-D2 measures ≈1 µs).
+	recordCost = time.Microsecond
+)
+
+// Config parameterizes a Defender. Zero values select the paper's
+// defaults.
+type Config struct {
+	AlarmThreshold  int
+	EngageThreshold int
+	Delta           time.Duration
+	MaxDelay        time.Duration
+	// AnalysisCostBase/PerRecord charge virtual time for running
+	// Algorithm 1, reproducing the §V-D1 response delays. Zero selects
+	// 50 ms + 60 µs/record (scaled by the interface's AnalysisWeight).
+	AnalysisCostBase      time.Duration
+	AnalysisCostPerRecord time.Duration
+	// KeepRaw stores the raw record and JGR-add-time windows on each
+	// Detection, letting experiments re-run Algorithm 1 with different Δ
+	// values (Fig. 9's sweep).
+	KeepRaw bool
+	// DisablePathClassification turns off the §VI countermeasure against
+	// multi-path attacks (classifying an interface's calls by observable
+	// execution path — here the transaction signature/size — before
+	// scoring, then summing the per-path maxima). Used by the ablation
+	// study only.
+	DisablePathClassification bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.AlarmThreshold == 0 {
+		c.AlarmThreshold = DefaultAlarmThreshold
+	}
+	if c.EngageThreshold == 0 {
+		c.EngageThreshold = DefaultEngageThreshold
+	}
+	if c.Delta == 0 {
+		c.Delta = DefaultDelta
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = DefaultMaxDelay
+	}
+	if c.AnalysisCostBase == 0 {
+		c.AnalysisCostBase = 50 * time.Millisecond
+	}
+	if c.AnalysisCostPerRecord == 0 {
+		c.AnalysisCostPerRecord = 60 * time.Microsecond
+	}
+	return c
+}
+
+// AppScore is one app's Algorithm-1 result: the number of suspicious IPC
+// calls supporting a consistent delay hypothesis, summed over interface
+// types.
+type AppScore struct {
+	Uid     kernel.Uid
+	Package string
+	// Score is the jgre_score: Σ over IPC types of the best-supported
+	// delay bucket's count.
+	Score int64
+	// ByType breaks the score down per interface ("service.method").
+	ByType map[string]int64
+}
+
+// Detection describes one defender engagement.
+type Detection struct {
+	Victim       string
+	VictimPid    kernel.Pid
+	EngagedAt    time.Duration
+	AnalysisTime time.Duration
+	Records      int
+	Scores       []AppScore // descending by score
+	Killed       []string   // packages force-stopped, in order
+	Recovered    bool
+	// RawRecords/RawAddTimes are kept only when Config.KeepRaw is set.
+	RawRecords  []binder.IPCRecord
+	RawAddTimes []time.Duration
+}
+
+// Defender is the JGRE Defender system service.
+type Defender struct {
+	dev *device.Device
+	cfg Config
+
+	monitors map[kernel.Pid]*monitor
+	history  []Detection
+	// OnDetection, if set, observes each engagement after recovery.
+	OnDetection func(Detection)
+}
+
+// monitor is the per-process runtime extension.
+type monitor struct {
+	d         *Defender
+	proc      *kernel.Process
+	baseline  int
+	recording bool
+	engaged   bool
+	addTimes  []time.Duration
+	// responding guards against re-entrant engagement while the defender
+	// is already killing apps for this victim.
+	responding bool
+}
+
+// New creates a defender on the device, enables IPC logging in the binder
+// driver, and attaches the runtime extension to every system host process
+// and published app-service owner. It re-attaches automatically after
+// soft reboots.
+func New(dev *device.Device, cfg Config) (*Defender, error) {
+	d := &Defender{dev: dev, cfg: cfg.withDefaults(), monitors: make(map[kernel.Pid]*monitor)}
+	if err := dev.Driver().EnableIPCLogging(); err != nil {
+		return nil, fmt.Errorf("defense: enabling IPC logging: %w", err)
+	}
+	d.attachAll()
+	dev.OnReboot(func(string) { d.attachAll() })
+	return d, nil
+}
+
+// attachAll monitors system_server, the dedicated service hosts and the
+// app-service owner processes.
+func (d *Defender) attachAll() {
+	d.Monitor(d.dev.SystemServer())
+	for _, name := range d.dev.AppServices().Names() {
+		if svc := d.dev.AppService(name); svc != nil {
+			if p := svc.Owner().Proc(); p != nil {
+				d.Monitor(p)
+			}
+		}
+	}
+}
+
+// Monitor attaches the runtime extension to a process. Idempotent per
+// process instance.
+func (d *Defender) Monitor(proc *kernel.Process) {
+	if proc == nil || !proc.Alive() {
+		return
+	}
+	if _, ok := d.monitors[proc.Pid()]; ok {
+		return
+	}
+	m := &monitor{d: d, proc: proc, baseline: proc.VM().GlobalRefCount()}
+	d.monitors[proc.Pid()] = m
+	proc.VM().AddJGRHook(m.onJGR)
+	proc.NotifyDeath(func(p *kernel.Process) { delete(d.monitors, p.Pid()) })
+}
+
+// Monitored reports whether the process currently has a runtime monitor.
+func (d *Defender) Monitored(pid kernel.Pid) bool {
+	_, ok := d.monitors[pid]
+	return ok
+}
+
+// History returns all detections so far.
+func (d *Defender) History() []Detection {
+	out := make([]Detection, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// onJGR is the runtime-extension hook.
+func (m *monitor) onJGR(ev art.JGREvent) {
+	if !m.proc.Alive() {
+		return
+	}
+	net := ev.Count - m.baseline
+	if net < 0 {
+		// The table shrank below the attach-time baseline (mass
+		// releases); track the lower level.
+		m.baseline = ev.Count
+		net = 0
+	}
+	cfg := m.d.cfg
+	if !m.recording && net > cfg.AlarmThreshold {
+		m.recording = true
+	}
+	if m.recording && ev.Op == art.OpAdd {
+		// §V-D2: recording costs ≈1 µs per operation past the alarm.
+		m.d.dev.Clock().Advance(recordCost)
+		m.addTimes = append(m.addTimes, ev.Time)
+	}
+	if m.recording && !m.engaged && !m.responding && net > cfg.EngageThreshold {
+		m.engaged = true
+		m.respond()
+	}
+	if m.recording && net <= cfg.AlarmThreshold/2 {
+		// Pressure receded on its own (e.g. the offender died).
+		m.reset()
+	}
+}
+
+// reset re-arms the monitor around the current table size.
+func (m *monitor) reset() {
+	m.baseline = m.proc.VM().GlobalRefCount()
+	m.recording = false
+	m.engaged = false
+	m.addTimes = nil
+}
+
+// respond runs Algorithm 1 and the recovery loop for this victim.
+func (m *monitor) respond() {
+	m.responding = true
+	defer func() { m.responding = false }()
+	d := m.d
+	det := Detection{
+		Victim:    m.proc.Name(),
+		VictimPid: m.proc.Pid(),
+		EngagedAt: d.dev.Clock().Now(),
+	}
+
+	records, err := d.readRecords(m.proc.Pid())
+	if err == nil {
+		det.Records = len(records)
+		start := d.dev.Clock().Now()
+		d.chargeAnalysis(records)
+		det.Scores = d.Score(records, m.addTimes)
+		det.AnalysisTime = d.dev.Clock().Now() - start
+		if d.cfg.KeepRaw {
+			det.RawRecords = append([]binder.IPCRecord(nil), records...)
+			det.RawAddTimes = append([]time.Duration(nil), m.addTimes...)
+		}
+	}
+
+	// Recovery: force-stop top-ranked apps until the victim's table is
+	// back under the alarm threshold (§V-A phase 3). Death recipients
+	// release the killed apps' retained entries synchronously.
+	for _, s := range det.Scores {
+		if m.proc.VM().GlobalRefCount()-m.baseline <= d.cfg.AlarmThreshold {
+			break
+		}
+		app := d.dev.Apps().ByUid(s.Uid)
+		if app == nil || !app.Running() {
+			continue
+		}
+		app.ForceStop("jgre-defender")
+		det.Killed = append(det.Killed, s.Package)
+	}
+	det.Recovered = m.proc.VM().GlobalRefCount()-m.baseline <= d.cfg.AlarmThreshold
+	if m.proc.Alive() {
+		m.reset()
+	}
+	_ = d.dev.Driver().TruncateLog()
+	d.history = append(d.history, det)
+	if d.OnDetection != nil {
+		d.OnDetection(det)
+	}
+}
+
+// readRecords flushes the driver log and returns the records aimed at the
+// victim pid. The defender reads as the system uid; the procfs ACL keeps
+// apps from seeing or spoofing the stream.
+func (d *Defender) readRecords(victim kernel.Pid) ([]binder.IPCRecord, error) {
+	if _, err := d.dev.Driver().FlushLog(); err != nil {
+		return nil, err
+	}
+	all, err := d.dev.Driver().ReadLog(kernel.SystemUid)
+	if err != nil {
+		return nil, err
+	}
+	var out []binder.IPCRecord
+	for _, r := range all {
+		if r.ToPid == victim && kernel.IsAppUid(r.FromUid) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// chargeAnalysis advances virtual time for the correlation run; per-record
+// cost scales with the targeted interface's analysis weight, which is what
+// makes MidiService.registerDeviceServer the slow outlier of §V-D1.
+func (d *Defender) chargeAnalysis(records []binder.IPCRecord) {
+	total := d.cfg.AnalysisCostBase
+	for _, r := range records {
+		w := 1.0
+		if t, ok := d.dev.Resolve(r); ok {
+			switch {
+			case t.Catalogued != nil:
+				w = t.Catalogued.Cost.AnalysisWeight
+			case t.AppRow != nil:
+				w = t.AppRow.Cost.AnalysisWeight
+			}
+		}
+		total += time.Duration(float64(d.cfg.AnalysisCostPerRecord) * w)
+	}
+	d.dev.Clock().Advance(total)
+}
+
+// Score implements Algorithm 1 (§V-A): for every app and every IPC
+// interface type the app invoked, accumulate candidate delays
+// [JGRTime−IPCTime, JGRTime−IPCTime+Δ] on a segment tree over the delay
+// axis, take the best-supported bucket as that type's count of suspicious
+// calls, and sum the counts into the app's jgre_score.
+func (d *Defender) Score(records []binder.IPCRecord, jgrAdds []time.Duration) []AppScore {
+	return d.ScoreWithDelta(records, jgrAdds, d.cfg.Delta)
+}
+
+// ScoreWithDelta runs Algorithm 1 with an explicit Δ, used by the Fig. 9
+// sensitivity sweep.
+func (d *Defender) ScoreWithDelta(records []binder.IPCRecord, jgrAdds []time.Duration, delta time.Duration) []AppScore {
+	if len(records) == 0 || len(jgrAdds) == 0 {
+		return nil
+	}
+	adds := append([]time.Duration(nil), jgrAdds...)
+	sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
+
+	type typeKey struct {
+		uid    kernel.Uid
+		handle binder.Handle
+		code   binder.TxCode
+		path   int
+	}
+	callsByType := make(map[typeKey][]time.Duration)
+	typeName := make(map[typeKey]string)
+	for _, r := range records {
+		k := typeKey{uid: r.FromUid, handle: r.Handle, code: r.Code}
+		if !d.cfg.DisablePathClassification {
+			// §VI: calls of the same IPC method travelling different code
+			// paths carry different argument shapes; the transaction size
+			// is the observable path signature.
+			k.path = r.Size
+		}
+		callsByType[k] = append(callsByType[k], r.Time)
+		if _, ok := typeName[k]; !ok {
+			if t, resolved := d.dev.Resolve(r); resolved {
+				typeName[k] = t.FullName()
+			} else {
+				typeName[k] = fmt.Sprintf("handle%d.code%d", r.Handle, r.Code)
+			}
+		}
+	}
+
+	domain := int(d.cfg.MaxDelay/delayBucket) + 2
+	scores := make(map[kernel.Uid]*AppScore)
+	keys := make([]typeKey, 0, len(callsByType))
+	for k := range callsByType {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.uid != b.uid {
+			return a.uid < b.uid
+		}
+		if a.handle != b.handle {
+			return a.handle < b.handle
+		}
+		if a.code != b.code {
+			return a.code < b.code
+		}
+		return a.path < b.path
+	})
+
+	deltaBuckets := int(delta / delayBucket)
+	for _, k := range keys {
+		tree := segtree.New(domain)
+		calls := callsByType[k]
+		for _, ct := range calls {
+			// Only JGR creations within [ct, ct+MaxDelay] can be effects
+			// of this call.
+			lo := sort.Search(len(adds), func(i int) bool { return adds[i] >= ct })
+			for i := lo; i < len(adds) && adds[i] <= ct+d.cfg.MaxDelay; i++ {
+				minDelay := int((adds[i] - ct) / delayBucket)
+				tree.Add(minDelay, minDelay+deltaBuckets, 1)
+			}
+		}
+		best := tree.GlobalMax()
+		if best == 0 {
+			continue
+		}
+		s, ok := scores[k.uid]
+		if !ok {
+			s = &AppScore{Uid: k.uid, ByType: make(map[string]int64)}
+			if a := d.dev.Apps().ByUid(k.uid); a != nil {
+				s.Package = a.Package()
+			}
+			scores[k.uid] = s
+		}
+		s.Score += best
+		s.ByType[typeName[k]] += best
+	}
+
+	out := make([]AppScore, 0, len(scores))
+	for _, s := range scores {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Uid < out[j].Uid
+	})
+	return out
+}
+
+// AverageDelta returns the catalog-wide mean jitter — how §V-C derives
+// the 1.8 ms default Δ from measuring all services.
+func AverageDelta() time.Duration {
+	rows := catalog.Interfaces()
+	var sum time.Duration
+	for _, r := range rows {
+		sum += r.Cost.Jitter
+	}
+	return sum / time.Duration(len(rows))
+}
+
+// FormatDetection renders one engagement as a human-readable report.
+func FormatDetection(det Detection) string {
+	s := fmt.Sprintf("JGRE detection at t=%.1fs: victim %s (pid %d)\n",
+		det.EngagedAt.Seconds(), det.Victim, det.VictimPid)
+	s += fmt.Sprintf("  %d IPC records analysed in %v\n", det.Records, det.AnalysisTime)
+	for i, sc := range det.Scores {
+		if i == 5 {
+			s += fmt.Sprintf("  ... and %d more apps\n", len(det.Scores)-5)
+			break
+		}
+		s += fmt.Sprintf("  #%d uid %-6d %-28s jgre_score=%d\n", i+1, sc.Uid, sc.Package, sc.Score)
+	}
+	s += fmt.Sprintf("  killed: %v; recovered: %v\n", det.Killed, det.Recovered)
+	return s
+}

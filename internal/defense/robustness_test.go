@@ -1,0 +1,235 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/device"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// TestLMKCannotStopJGRE pins the paper's §VII point: the low memory
+// killer watches memory, not JGR tables, so a memory-frugal JGRE attack
+// sails straight past it and reboots the device — which is why the JGRE
+// Defender exists.
+func TestLMKCannotStopJGRE(t *testing.T) {
+	dev, err := device.Boot(device.Config{Seed: 33, ServerVM: artCfg(3000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000 && dev.SoftReboots() == 0; i++ {
+		if err := atk.Step(); err != nil {
+			break
+		}
+	}
+	if dev.SoftReboots() != 1 {
+		t.Fatal("attack did not reboot the undefended device")
+	}
+	if got := dev.Kernel().LMKKills(); got != 0 {
+		t.Fatalf("LMK killed %d processes; it should never have triggered", got)
+	}
+}
+
+// TestDefenderSurvivesProcfsLoss injects the failure the defender's
+// evidence pipeline depends on: the procfs log vanishes before
+// engagement. The defender must degrade gracefully (no scores, no kills,
+// no panic) rather than crash the system service.
+func TestDefenderSurvivesProcfsLoss(t *testing.T) {
+	dev, err := device.Boot(device.Config{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(dev, Config{AlarmThreshold: 300, EngageThreshold: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: remove the evidence file.
+	if err := dev.Kernel().ProcFS().Remove(binder.LogPath, kernel.RootUid); err != nil {
+		t.Fatal(err)
+	}
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000 && len(def.History()) == 0; i++ {
+		if err := atk.Step(); err != nil {
+			break
+		}
+	}
+	hist := def.History()
+	if len(hist) == 0 {
+		t.Fatal("defender never engaged")
+	}
+	det := hist[0]
+	if det.Records != 0 || len(det.Scores) != 0 {
+		t.Fatalf("detection produced evidence without a log: %+v", det)
+	}
+	if len(det.Killed) != 0 {
+		t.Fatalf("defender killed %v without evidence", det.Killed)
+	}
+	if det.Recovered {
+		t.Fatal("recovery claimed without any kills")
+	}
+}
+
+// TestDefenderHandlesRepeatEngagements: if the first engagement's kills
+// do not end the pressure (a second attacker appears), the defender must
+// engage again and clear it too.
+func TestDefenderHandlesRepeatEngagements(t *testing.T) {
+	dev, err := device.Boot(device.Config{Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(dev, Config{AlarmThreshold: 300, EngageThreshold: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		evil, err := dev.Apps().Install("com.evil.app" + string(rune('a'+round)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := round + 1
+		for i := 0; i < 20000 && len(def.History()) < want; i++ {
+			if err := atk.Step(); err != nil {
+				break
+			}
+		}
+		hist := def.History()
+		if len(hist) != want {
+			t.Fatalf("round %d: %d detections, want %d", round, len(hist), want)
+		}
+		det := hist[want-1]
+		if !det.Recovered || len(det.Killed) == 0 || det.Killed[0] != evil.Package() {
+			t.Fatalf("round %d: detection = %+v", round, det)
+		}
+	}
+	if dev.SoftReboots() != 0 {
+		t.Fatal("device rebooted despite the defender")
+	}
+}
+
+// TestScorePermutationInvariant: Algorithm 1's result must not depend on
+// the order records arrive in the log.
+func TestScorePermutationInvariant(t *testing.T) {
+	r := newDefRig(t, smallCfg(), 4)
+	evil, _ := r.dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(r.dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgd := r.def
+	cfgd.cfg.KeepRaw = true
+	r.sched.Add(atk)
+	r.sched.Run(func() bool { return len(cfgd.History()) > 0 }, 200000)
+	hist := cfgd.History()
+	if len(hist) == 0 || len(hist[0].RawRecords) == 0 {
+		t.Fatal("no raw window captured")
+	}
+	det := hist[0]
+
+	base := cfgd.Score(det.RawRecords, det.RawAddTimes)
+	shuffled := append([]binder.IPCRecord(nil), det.RawRecords...)
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	again := cfgd.Score(shuffled, det.RawAddTimes)
+
+	if len(base) != len(again) {
+		t.Fatalf("score cardinality changed: %d vs %d", len(base), len(again))
+	}
+	for i := range base {
+		if base[i].Uid != again[i].Uid || base[i].Score != again[i].Score {
+			t.Fatalf("rank %d differs: %+v vs %+v", i, base[i], again[i])
+		}
+	}
+}
+
+// TestScoreMonotoneInEvidence: extending the window with more of the
+// attacker's (call, add) pairs never lowers its score.
+func TestScoreMonotoneInEvidence(t *testing.T) {
+	r := newDefRig(t, smallCfg(), 0)
+	evil, _ := r.dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(r.dev, evil, "clipboard.addPrimaryClipChangedListener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.def.cfg.KeepRaw = true
+	sched := workload.NewScheduler(r.dev)
+	sched.Add(atk)
+	sched.Run(func() bool { return len(r.def.History()) > 0 }, 200000)
+	hist := r.def.History()
+	if len(hist) == 0 {
+		t.Fatal("no detection")
+	}
+	det := hist[0]
+	find := func(scores []AppScore) int64 {
+		for _, s := range scores {
+			if s.Package == "com.evil.app" {
+				return s.Score
+			}
+		}
+		return 0
+	}
+	prev := int64(0)
+	for _, frac := range []int{4, 2, 1} {
+		n := len(det.RawRecords) / frac
+		m := len(det.RawAddTimes) / frac
+		score := find(r.def.Score(det.RawRecords[:n], det.RawAddTimes[:m]))
+		if score < prev {
+			t.Fatalf("score shrank with more evidence: %d then %d", prev, score)
+		}
+		prev = score
+	}
+	if prev == 0 {
+		t.Fatal("attacker never scored")
+	}
+}
+
+// TestQuickDeltaWideningNeverLowersScore: for any Δ' ≥ Δ, each candidate
+// interval only widens, so the max-supported bucket cannot lose votes.
+func TestQuickDeltaWideningNeverLowersScore(t *testing.T) {
+	r := newDefRig(t, smallCfg(), 0)
+	evil, _ := r.dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(r.dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.def.cfg.KeepRaw = true
+	sched := workload.NewScheduler(r.dev)
+	sched.Add(atk)
+	sched.Run(func() bool { return len(r.def.History()) > 0 }, 200000)
+	hist := r.def.History()
+	if len(hist) == 0 {
+		t.Fatal("no detection")
+	}
+	det := hist[0]
+	find := func(scores []AppScore) int64 {
+		for _, s := range scores {
+			if s.Package == "com.evil.app" {
+				return s.Score
+			}
+		}
+		return 0
+	}
+	prev := int64(0)
+	for _, delta := range []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond, 8 * time.Millisecond} {
+		score := find(r.def.ScoreWithDelta(det.RawRecords, det.RawAddTimes, delta))
+		if score < prev {
+			t.Fatalf("Δ=%v lowered score: %d then %d", delta, prev, score)
+		}
+		prev = score
+	}
+}

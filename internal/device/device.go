@@ -1,0 +1,453 @@
+// Package device assembles the full simulated Android 6.0.1 system: the
+// kernel, the binder driver, the ServiceManager with all 104 system
+// services from the catalog census, the prebuilt core apps of Table IV,
+// and the soft-reboot recovery path. It is the top-level substrate every
+// experiment runs on.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/art"
+	"repro/internal/binder"
+	"repro/internal/catalog"
+	"repro/internal/kernel"
+	"repro/internal/permissions"
+	"repro/internal/services"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// Well-known prebuilt-app uids.
+const (
+	BluetoothUid kernel.Uid = 1002  // AID_BLUETOOTH
+	PicoTtsUid   kernel.Uid = 10035 // an app uid below the installer range
+)
+
+// DefaultBaselineProcesses matches the paper's Fig. 4 observation: "There
+// are 382 processes running on stock Android that has not installed any
+// third-party apps."
+const DefaultBaselineProcesses = 382
+
+// Config parameterizes a device boot.
+type Config struct {
+	// Seed drives all randomized cost jitter; equal seeds give identical
+	// runs.
+	Seed int64
+	// ServerVM overrides the system_server runtime config (tests use
+	// small JGR caps to exhaust quickly). The abort hook is always
+	// chained to the kernel.
+	ServerVM art.Config
+	// Kernel and Driver pass through to the respective layers.
+	Kernel kernel.Config
+	Driver binder.Config
+	// BaselineProcesses is the stock-Android process count to simulate;
+	// 0 means DefaultBaselineProcesses.
+	BaselineProcesses int
+	// SkipBaselineRefs disables the per-service boot-time JGR pins (unit
+	// tests that count references exactly set this).
+	SkipBaselineRefs bool
+	// UniversalQuota applies a per-caller-pid cap to every catalogued
+	// interface on every service — the §IV-B "patch all services"
+	// counterfactual. 0 disables it.
+	UniversalQuota int
+	// InstallThirdPartyApps additionally installs the Table V vulnerable
+	// Google Play apps and publishes their services, so the pipeline's
+	// dynamic stage can verify them.
+	InstallThirdPartyApps bool
+}
+
+// Fixed uids for the Table V apps (below the sequential installer range
+// so experiment attacker uids still start at 10059).
+var thirdPartyUids = map[string]kernel.Uid{
+	"com.google.android.tts": 10040,
+	"com.supernet.vpn":       10041,
+	"com.snapmovie.app":      10042,
+}
+
+// IPCTarget identifies what a logged IPC record was aimed at.
+type IPCTarget struct {
+	// Kind is "system" for system services, "app" for app services.
+	Kind string
+	// Service is the ServiceManager name (system) or the published
+	// registry name (app).
+	Service string
+	// Method is the resolved method name.
+	Method string
+	// Catalogued is the catalog row when the method is a known
+	// vulnerable interface.
+	Catalogued *catalog.Interface
+	// AppRow is the catalog row for app-service interfaces.
+	AppRow *catalog.AppInterface
+}
+
+// FullName returns "service.method".
+func (t IPCTarget) FullName() string { return t.Service + "." + t.Method }
+
+// Device is a booted simulated Android system.
+type Device struct {
+	cfg    Config
+	clock  *simclock.Clock
+	kern   *kernel.Kernel
+	driver *binder.Driver
+	sm     *binder.ServiceManager
+	perms  *permissions.Manager
+	apps   *apps.Manager
+	appReg *apps.ServiceRegistry
+
+	systemServer *kernel.Process
+	hosts        map[string]*kernel.Process
+	services     map[string]*services.Service
+	appServices  map[string]*apps.AppService
+	handleIndex  map[binder.Handle]handleEntry
+
+	bootCount    int
+	broadcastSeq uint64
+	onReboot     []func(reason string)
+	journal      *trace.Journal
+}
+
+type handleEntry struct {
+	kind string
+	sys  *services.Service
+	app  *apps.AppService
+	name string
+}
+
+// Boot builds and starts a device.
+func Boot(cfg Config) (*Device, error) {
+	if cfg.BaselineProcesses == 0 {
+		cfg.BaselineProcesses = DefaultBaselineProcesses
+	}
+	d := &Device{cfg: cfg}
+	d.clock = simclock.New()
+
+	kcfg := cfg.Kernel
+	userReboot := kcfg.OnSystemServerDeath
+	kcfg.OnSystemServerDeath = func(reason string) {
+		if userReboot != nil {
+			userReboot(reason)
+		}
+		d.restartSystem(reason)
+	}
+	d.kern = kernel.New(d.clock, kcfg)
+	d.journal = trace.New(0)
+	d.kern.OnKill(func(p *kernel.Process, reason string) {
+		kind := trace.KindKill
+		if reason == "lmk" {
+			kind = trace.KindLMK
+		}
+		d.journal.Add(d.clock.Now(), kind, p.Name(), reason)
+	})
+	d.driver = binder.New(d.kern, cfg.Driver)
+	d.sm = binder.NewServiceManager(d.driver)
+	d.perms = permissions.NewManager()
+	for p, l := range catalog.PermissionLevels {
+		d.perms.Define(p, l)
+	}
+	d.apps = apps.NewManager(d.kern, d.perms)
+	d.appReg = apps.NewServiceRegistry(d.driver)
+
+	if err := d.startSystem(); err != nil {
+		return nil, err
+	}
+	if err := d.installPrebuilts(); err != nil {
+		return nil, err
+	}
+	if cfg.InstallThirdPartyApps {
+		if err := d.installThirdParty(); err != nil {
+			return nil, err
+		}
+	}
+	d.spawnBaselineFillers()
+	return d, nil
+}
+
+// installThirdParty installs the Table V apps and publishes their
+// vulnerable services.
+func (d *Device) installThirdParty() error {
+	for _, row := range catalog.ThirdPartyAppInterfaces() {
+		if d.apps.ByPackage(row.Package) == nil {
+			uid, ok := thirdPartyUids[row.Package]
+			if !ok {
+				return fmt.Errorf("device: no reserved uid for %s", row.Package)
+			}
+			if _, err := d.apps.InstallWithUid(row.Package, uid); err != nil {
+				return err
+			}
+		}
+	}
+	return d.publishThirdPartyServices()
+}
+
+func (d *Device) publishThirdPartyServices() error {
+	for _, row := range catalog.ThirdPartyAppInterfaces() {
+		name := apps.AppServiceName(row)
+		owner := d.apps.ByPackage(row.Package)
+		if owner == nil {
+			return fmt.Errorf("device: third-party %s not installed", row.Package)
+		}
+		d.appReg.Unpublish(name)
+		svc, err := apps.NewAppService(owner, d.driver, d.clock, d.appReg, []catalog.AppInterface{row}, d.cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("device: publishing %s: %w", name, err)
+		}
+		d.appServices[name] = svc
+		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
+	}
+	return nil
+}
+
+// startSystem spawns system_server and the dedicated host processes, then
+// instantiates all census services.
+func (d *Device) startSystem() error {
+	d.hosts = make(map[string]*kernel.Process)
+	d.services = make(map[string]*services.Service)
+	d.handleIndex = make(map[binder.Handle]handleEntry)
+
+	d.systemServer = d.kern.Spawn(kernel.SpawnConfig{
+		Name:        kernel.SystemServerName,
+		Uid:         kernel.SystemUid,
+		OomScoreAdj: kernel.SystemAdj,
+		MemoryKB:    180 * 1024,
+		VM:          d.cfg.ServerVM,
+	})
+	d.hosts[kernel.SystemServerName] = d.systemServer
+
+	for _, meta := range catalog.Services() {
+		hostName := meta.HostProcess()
+		host, ok := d.hosts[hostName]
+		if !ok {
+			host = d.kern.Spawn(kernel.SpawnConfig{
+				Name:        hostName,
+				Uid:         kernel.SystemUid,
+				OomScoreAdj: kernel.PersistentProcAdj,
+				MemoryKB:    30 * 1024,
+			})
+			d.hosts[hostName] = host
+		}
+		bootRefs := 0
+		if !d.cfg.SkipBaselineRefs {
+			// 8–20 long-lived internal pins per service: across 104
+			// services this yields the 1,000–3,000 baseline JGR table of
+			// Fig. 4.
+			bootRefs = int(8 + spreadByte(meta.Name)%13)
+		}
+		svc, err := services.New(services.Config{
+			Meta:           meta,
+			Ifaces:         catalog.InterfacesForService(meta.Name),
+			Host:           host,
+			Driver:         d.driver,
+			Clock:          d.clock,
+			Perms:          d.perms,
+			Seed:           d.cfg.Seed,
+			UniversalQuota: d.cfg.UniversalQuota,
+			ExtraBootRefs:  bootRefs,
+		}, d.sm)
+		if err != nil {
+			return fmt.Errorf("device: starting %s: %w", meta.Name, err)
+		}
+		d.services[meta.Name] = svc
+		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: meta.Name}
+	}
+	return nil
+}
+
+// installPrebuilts installs the Table IV core apps and publishes their
+// vulnerable services. (Re)publication also runs after soft reboots.
+func (d *Device) installPrebuilts() error {
+	if d.apps.ByPackage("com.android.bluetooth") == nil {
+		if _, err := d.apps.InstallWithUid("com.android.bluetooth", BluetoothUid); err != nil {
+			return err
+		}
+		if _, err := d.apps.InstallWithUid("com.svox.pico", PicoTtsUid); err != nil {
+			return err
+		}
+	}
+	return d.publishPrebuiltServices()
+}
+
+func (d *Device) publishPrebuiltServices() error {
+	d.appServices = make(map[string]*apps.AppService)
+	grouped := make(map[string][]catalog.AppInterface)
+	var order []string
+	for _, row := range catalog.PrebuiltAppInterfaces() {
+		name := apps.AppServiceName(row)
+		if _, ok := grouped[name]; !ok {
+			order = append(order, name)
+		}
+		grouped[name] = append(grouped[name], row)
+	}
+	for _, name := range order {
+		rows := grouped[name]
+		owner := d.apps.ByPackage(rows[0].Package)
+		if owner == nil {
+			return fmt.Errorf("device: prebuilt %s not installed", rows[0].Package)
+		}
+		d.appReg.Unpublish(name)
+		svc, err := apps.NewAppService(owner, d.driver, d.clock, d.appReg, rows, d.cfg.Seed)
+		if err != nil {
+			return fmt.Errorf("device: publishing %s: %w", name, err)
+		}
+		d.appServices[name] = svc
+		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
+	}
+	return nil
+}
+
+// spawnBaselineFillers brings the process count up to the stock-Android
+// level (Fig. 4's 382) with inert native daemons.
+func (d *Device) spawnBaselineFillers() {
+	for i := d.kern.RunningCount(); i < d.cfg.BaselineProcesses; i++ {
+		d.kern.Spawn(kernel.SpawnConfig{
+			Name:        fmt.Sprintf("daemon%d", i),
+			Uid:         kernel.RootUid,
+			OomScoreAdj: kernel.PersistentProcAdj,
+			MemoryKB:    1024,
+		})
+	}
+}
+
+// restartSystem is the soft-reboot recovery: after system_server dies the
+// ServiceManager registry is rebuilt with fresh service instances (and
+// fresh, empty JGR tables).
+func (d *Device) restartSystem(reason string) {
+	d.bootCount++
+	d.journal.Add(d.clock.Now(), trace.KindReboot, kernel.SystemServerName, reason)
+	d.sm.Clear()
+	if err := d.startSystem(); err != nil {
+		panic(fmt.Sprintf("device: soft reboot failed: %v", err))
+	}
+	// Prebuilt app processes died with the reboot; restart and republish.
+	if err := d.publishPrebuiltServices(); err != nil {
+		panic(fmt.Sprintf("device: republishing prebuilts failed: %v", err))
+	}
+	if d.cfg.InstallThirdPartyApps {
+		if err := d.publishThirdPartyServices(); err != nil {
+			panic(fmt.Sprintf("device: republishing third-party apps failed: %v", err))
+		}
+	}
+	d.spawnBaselineFillers()
+	for _, fn := range d.onReboot {
+		fn(reason)
+	}
+}
+
+// Accessors.
+
+// Clock returns the device's virtual clock.
+func (d *Device) Clock() *simclock.Clock { return d.clock }
+
+// Journal returns the device's event journal (process lifecycle, LMK,
+// reboots; the defender adds detections when attached through
+// core.NewProtectedDevice).
+func (d *Device) Journal() *trace.Journal { return d.journal }
+
+// Kernel returns the simulated kernel.
+func (d *Device) Kernel() *kernel.Kernel { return d.kern }
+
+// Driver returns the binder driver.
+func (d *Device) Driver() *binder.Driver { return d.driver }
+
+// ServiceManager returns the binder registry.
+func (d *Device) ServiceManager() *binder.ServiceManager { return d.sm }
+
+// Permissions returns the permission manager.
+func (d *Device) Permissions() *permissions.Manager { return d.perms }
+
+// Apps returns the app installer.
+func (d *Device) Apps() *apps.Manager { return d.apps }
+
+// AppServices returns the app-service registry.
+func (d *Device) AppServices() *apps.ServiceRegistry { return d.appReg }
+
+// SystemServer returns the current system_server process.
+func (d *Device) SystemServer() *kernel.Process { return d.systemServer }
+
+// Service returns a running system service by registry name.
+func (d *Device) Service(name string) *services.Service { return d.services[name] }
+
+// AppService returns a published app service by registry name.
+func (d *Device) AppService(name string) *apps.AppService { return d.appServices[name] }
+
+// SoftReboots returns how many soft reboots the device has survived.
+func (d *Device) SoftReboots() int { return d.bootCount }
+
+// OnReboot registers fn to run after each completed soft-reboot recovery.
+func (d *Device) OnReboot(fn func(reason string)) { d.onReboot = append(d.onReboot, fn) }
+
+// NewClient opens a raw binder client on a system service for app.
+func (d *Device) NewClient(a *apps.App, serviceName string) (*services.Client, error) {
+	return services.NewClient(d.sm, d.driver, a.Start(), a.Package(), serviceName)
+}
+
+// Resolve attributes a logged IPC record to its target interface. The
+// defender uses this exactly as the paper's defender uses the
+// servicemanager + framework metadata: handle → service, code → method.
+func (d *Device) Resolve(rec binder.IPCRecord) (IPCTarget, bool) {
+	he, ok := d.handleIndex[rec.Handle]
+	if !ok {
+		return IPCTarget{}, false
+	}
+	t := IPCTarget{Kind: he.kind, Service: he.name}
+	switch he.kind {
+	case "system":
+		m, ok := he.sys.MethodName(rec.Code)
+		if !ok {
+			return IPCTarget{}, false
+		}
+		t.Method = m
+		if row, ok := catalog.InterfaceByName(he.name + "." + m); ok {
+			t.Catalogued = &row
+		}
+	case "app":
+		m, ok := he.app.MethodName(rec.Code)
+		if !ok {
+			return IPCTarget{}, false
+		}
+		t.Method = m
+		for _, row := range catalog.PrebuiltAppInterfaces() {
+			if apps.AppServiceName(row) == he.name && row.FullName() != "" {
+				r := row
+				t.AppRow = &r
+				break
+			}
+		}
+	}
+	return t, true
+}
+
+// spreadByte gives a small deterministic per-name value.
+func spreadByte(name string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h
+}
+
+// RegisterBroadcastReceiver models the non-Binder IPC surfaces the paper's
+// §VI lists as analysis blind spots (unprotected broadcast receivers,
+// ASHMEM, sockets): the registration pins JGR entries in system_server
+// without any binder transaction, so neither the static pipeline (which
+// enumerates binder IPC methods) nor the defender's IPC log sees the
+// cause. Entries are released when the registering process dies.
+func (d *Device) RegisterBroadcastReceiver(proc *kernel.Process) error {
+	if proc == nil || !proc.Alive() {
+		return fmt.Errorf("device: dead registrant")
+	}
+	d.broadcastSeq++
+	obj := &art.Object{ID: art.ObjectID(1<<40 + d.broadcastSeq), Class: "android.content.BroadcastReceiver"}
+	ref, err := d.systemServer.VM().AddGlobalRef(obj)
+	if err != nil {
+		return err
+	}
+	ss := d.systemServer
+	proc.NotifyDeath(func(*kernel.Process) {
+		if ss.Alive() {
+			_ = ss.VM().DeleteGlobalRef(ref)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,132 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/art"
+	"repro/internal/catalog"
+	"repro/internal/kernel"
+)
+
+// TestSoakRepeatedReboots hammers an undefended device through several
+// full exhaustion → soft-reboot → recovery cycles, re-launching the
+// attacker each time: the device must come back fully functional every
+// round (all services registered, baseline restored, fresh JGR table).
+func TestSoakRepeatedReboots(t *testing.T) {
+	d, err := Boot(Config{Seed: 77, ServerVM: art.Config{MaxGlobalRefs: 2200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := d.Apps().Install("com.evil.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4
+	for round := 1; round <= rounds; round++ {
+		c, err := d.NewClient(attacker, "clipboard")
+		if err != nil {
+			t.Fatalf("round %d: client: %v", round, err)
+		}
+		for i := 0; i < 5000 && d.SoftReboots() < round; i++ {
+			c.Register("addPrimaryClipChangedListener")
+		}
+		if d.SoftReboots() != round {
+			t.Fatalf("round %d: SoftReboots = %d", round, d.SoftReboots())
+		}
+		// Post-reboot invariants.
+		if got := len(d.ServiceManager().ListServices()); got != 104 {
+			t.Fatalf("round %d: services = %d", round, got)
+		}
+		if got := d.Kernel().RunningCount(); got != DefaultBaselineProcesses {
+			t.Fatalf("round %d: processes = %d", round, got)
+		}
+		if !d.SystemServer().Alive() {
+			t.Fatalf("round %d: system_server dead after recovery", round)
+		}
+		if got := d.SystemServer().VM().GlobalRefCount(); got >= 2200 {
+			t.Fatalf("round %d: fresh JGR table already at %d", round, got)
+		}
+		// App-service publications came back too.
+		for _, row := range catalog.PrebuiltAppInterfaces() {
+			name := row.Package + "/" + row.Method[:indexByte(row.Method, '.')]
+			if d.AppService(name) == nil {
+				t.Fatalf("round %d: app service %s not republished", round, name)
+			}
+		}
+	}
+}
+
+// TestRebootDuringHeavyBenignLoad: a soft reboot that lands while dozens
+// of benign apps hold live clients and listeners must not corrupt driver
+// or kernel state.
+func TestRebootDuringHeavyBenignLoad(t *testing.T) {
+	d, err := Boot(Config{Seed: 78, ServerVM: art.Config{MaxGlobalRefs: 4000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 benign apps, each holding clients and a couple of listeners.
+	for i := 0; i < 20; i++ {
+		app, err := d.Apps().Install("com.bg.app" + string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := d.NewClient(app, "window")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Register("watchRotation"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attacker, _ := d.Apps().Install("com.evil.app")
+	c, _ := d.NewClient(attacker, "audio")
+	for i := 0; i < 5000 && d.SoftReboots() == 0; i++ {
+		c.Register("startWatchingRoutes")
+	}
+	if d.SoftReboots() != 1 {
+		t.Fatal("no reboot")
+	}
+	// Everything restarts cleanly and the restored services accept work.
+	fresh, err := d.Apps().Install("com.fresh.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.NewClient(fresh, "window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Register("watchRotation"); err != nil {
+		t.Fatalf("post-reboot register: %v", err)
+	}
+	if got := d.Service("window").EntryCount("watchRotation"); got != 1 {
+		t.Fatalf("fresh window listeners = %d, want 1 (old state discarded)", got)
+	}
+}
+
+// TestSystemUidProcessesSurviveReboot: persistent system daemons are not
+// app processes and must survive the userspace teardown only as respawns
+// (the kernel model kills all non-system_server processes; the device
+// layer restores the baseline population).
+func TestSystemUidProcessesSurviveReboot(t *testing.T) {
+	d, err := Boot(Config{Seed: 79, ServerVM: art.Config{MaxGlobalRefs: 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, _ := d.Apps().Install("com.evil.app")
+	c, _ := d.NewClient(attacker, "clipboard")
+	for i := 0; i < 3000 && d.SoftReboots() == 0; i++ {
+		c.Register("addPrimaryClipChangedListener")
+	}
+	if d.SoftReboots() != 1 {
+		t.Fatal("no reboot")
+	}
+	// mediaserver and the nfc host are back.
+	for _, name := range []string{"mediaserver", "com.android.nfc"} {
+		if d.Kernel().FindProcess(name) == nil {
+			t.Errorf("host %s missing after reboot", name)
+		}
+	}
+	if d.Kernel().FindProcess(kernel.SystemServerName) == nil {
+		t.Error("system_server missing after reboot")
+	}
+}

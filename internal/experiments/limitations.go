@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+
+	"repro/internal/defense"
+	"repro/internal/device"
+)
+
+// LimitationResult makes the paper's §VI false-negative discussion
+// concrete: a JGRE attack through a non-Binder IPC surface (broadcast
+// receivers / ASHMEM / sockets) leaves no binder-driver evidence, so the
+// defender's alarm fires but Algorithm 1 has nobody to blame.
+type LimitationResult struct {
+	// Engaged: the JGR monitor noticed the exhaustion pressure.
+	Engaged bool
+	// AttackerScored: whether any score pointed at the attacker (it must
+	// not — there are no IPC records for the covert channel).
+	AttackerScored bool
+	// AttackerKilled and Rebooted describe the outcome: without
+	// attribution, recovery fails and the device eventually goes down.
+	AttackerKilled bool
+	Rebooted       bool
+}
+
+// LimitationStudy runs the covert-channel attack against a defended
+// device.
+func LimitationStudy(scale Scale) (*LimitationResult, error) {
+	dev, err := device.Boot(device.Config{Seed: 222})
+	if err != nil {
+		return nil, err
+	}
+	def, err := defense.New(dev, defenseThresholds(scale))
+	if err != nil {
+		return nil, err
+	}
+	evil, err := dev.Apps().Install("com.covert.app")
+	if err != nil {
+		return nil, err
+	}
+	proc := evil.Start()
+
+	res := &LimitationResult{}
+	limit := dev.SystemServer().VM().MaxGlobal() + 10000
+	for i := 0; i < limit && dev.SoftReboots() == 0; i++ {
+		if !proc.Alive() {
+			res.AttackerKilled = true
+			break
+		}
+		if err := dev.RegisterBroadcastReceiver(proc); err != nil {
+			break // victim aborted mid-registration
+		}
+	}
+	res.Rebooted = dev.SoftReboots() > 0
+	for _, det := range def.History() {
+		res.Engaged = true
+		for _, s := range det.Scores {
+			if s.Package == evil.Package() {
+				res.AttackerScored = true
+			}
+		}
+		for _, k := range det.Killed {
+			if k == evil.Package() {
+				res.AttackerKilled = true
+			}
+		}
+	}
+	if !res.Engaged && !res.Rebooted {
+		return nil, errors.New("neither engagement nor reboot: attack fizzled")
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/binder"
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// Obs2Row is one interface's IPC→JGR delay profile, the quantity behind
+// the paper's Observation 2: "the duration from an IPC call being invoked
+// to the creation of a JGR entry varies within a small value", expressed
+// as Delay + Δ with Delay a stable floor and Δ ≥ 0 a bounded deviation.
+type Obs2Row struct {
+	Interface string
+	Samples   int
+	// Delay is the observed floor (the minimum IPC→JGR latency).
+	Delay time.Duration
+	// Delta is the observed deviation bound (max − min).
+	Delta time.Duration
+	// P90 of the raw delays, for the distribution's shape.
+	P90 time.Duration
+}
+
+// Observation2 measures, for every exploitable system interface, the
+// delay between each logged IPC record and the JGR creation it causes —
+// exactly the data the defender's Algorithm 1 keys on. It returns one row
+// per interface plus the fleet-wide mean Δ (the paper derives 1.8 ms).
+func Observation2(scale Scale) ([]Obs2Row, time.Duration, error) {
+	calls := 120
+	if scale == Full {
+		calls = 1000
+	}
+	dev, err := device.Boot(device.Config{Seed: 91})
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := dev.Driver().EnableIPCLogging(); err != nil {
+		return nil, 0, err
+	}
+
+	// Observe every JGR add in system_server with its timestamp.
+	var adds []time.Duration
+	dev.SystemServer().VM().AddJGRHook(func(ev art.JGREvent) {
+		if ev.Op == art.OpAdd {
+			adds = append(adds, ev.Time)
+		}
+	})
+
+	var rows []Obs2Row
+	var deltaSum time.Duration
+	targets := catalog.ExploitableInterfaces()
+	for idx, row := range targets {
+		app, err := dev.Apps().Install(fmt.Sprintf("com.obs2.meter%03d", idx))
+		if err != nil {
+			return nil, 0, err
+		}
+		atk, err := workload.NewAttacker(dev, app, row.FullName())
+		if err != nil {
+			return nil, 0, err
+		}
+		adds = adds[:0]
+		if err := dev.Driver().TruncateLog(); err != nil {
+			return nil, 0, err
+		}
+		for i := 0; i < calls; i++ {
+			if err := atk.Step(); err != nil {
+				return nil, 0, fmt.Errorf("experiments: obs2 %s: %w", row.FullName(), err)
+			}
+		}
+		if _, err := dev.Driver().FlushLog(); err != nil {
+			return nil, 0, err
+		}
+		records, err := dev.Driver().ReadLog(kernel.SystemUid)
+		if err != nil {
+			return nil, 0, err
+		}
+		delays := causalDelays(records, adds, app.Uid())
+		if len(delays) == 0 {
+			return nil, 0, fmt.Errorf("experiments: obs2 %s: no delay samples", row.FullName())
+		}
+		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+		o := Obs2Row{
+			Interface: row.FullName(),
+			Samples:   len(delays),
+			Delay:     delays[0],
+			Delta:     delays[len(delays)-1] - delays[0],
+			P90:       delays[len(delays)*9/10],
+		}
+		rows = append(rows, o)
+		deltaSum += o.Delta
+		app.ForceStop("obs2 done") // release entries before the next interface
+	}
+	return rows, deltaSum / time.Duration(len(rows)), nil
+}
+
+// causalDelays pairs each of the attacker's IPC records with the first
+// JGR add that follows it (the attacker is the only caller while its
+// window is measured).
+func causalDelays(records []binder.IPCRecord, adds []time.Duration, uid kernel.Uid) []time.Duration {
+	sorted := append([]time.Duration(nil), adds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []time.Duration
+	for _, r := range records {
+		if r.FromUid != uid {
+			continue
+		}
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= r.Time })
+		if i < len(sorted) {
+			out = append(out, sorted[i]-r.Time)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/device"
+	"repro/internal/services"
+	"repro/internal/workload"
+)
+
+// PatchRow is one quota point of the §IV-B counterfactual: "what if
+// Android patched every interface with a per-process constraint?"
+type PatchRow struct {
+	// Quota is the per-pid cap applied to every catalogued interface.
+	Quota int
+	// SingleBlocked: one attacker cannot exhaust the table any more.
+	SingleBlocked bool
+	// AttackerPeakEntries is the most registrations the attacker got on
+	// its target interface.
+	AttackerPeakEntries int
+	// BenignRefusals counts legitimate registrations the quota rejected
+	// across the population — the usability cost (§IV-B: "If the
+	// thresholds cannot be correctly set, Android system will have a
+	// severe usability problem").
+	BenignRefusals int
+	// HeavyAppRefusals is the refusal count of the single listener-heavy
+	// benign app.
+	HeavyAppRefusals int
+	// ColludersNeeded is how many cooperating apps (each within quota on
+	// every interface) it still takes to reach the 51,200 cap — finite,
+	// because all services share system_server's table (§IV-B challenge
+	// 2). 0 means the sweep's ceiling did not suffice.
+	ColludersNeeded int
+}
+
+// PatchStudy sweeps the universal quota and measures, per value: whether
+// a single attacker is blocked, what it costs benign apps, and how many
+// colluders still break the shared table.
+func PatchStudy() ([]PatchRow, error) {
+	var out []PatchRow
+	for i, q := range []int{1, 5, 20, 50, 100} {
+		row, err := patchOnce(i, q)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: patch quota %d: %w", q, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func patchOnce(idx, quota int) (PatchRow, error) {
+	dev, err := device.Boot(device.Config{Seed: int64(300 + idx), UniversalQuota: quota})
+	if err != nil {
+		return PatchRow{}, err
+	}
+	row := PatchRow{Quota: quota}
+
+	// --- Usability: a benign population including one heavy registrant.
+	sched := workload.NewScheduler(dev)
+	benign, err := workload.Population(dev, sched, 12, int64(idx), 800*time.Millisecond)
+	if err != nil {
+		return PatchRow{}, err
+	}
+	heavy := benign[0]
+	heavy.SetHeavy(40)
+	sched.Run(func() bool { return dev.Clock().Now() > 4*time.Minute }, 400000)
+	for _, b := range benign {
+		row.BenignRefusals += b.Refusals()
+	}
+	row.HeavyAppRefusals = heavy.Refusals()
+
+	// --- Single attacker: hammer one interface well past the quota.
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		return PatchRow{}, err
+	}
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		return PatchRow{}, err
+	}
+	for i := 0; i < 4*quota+200; i++ {
+		if err := atk.Step(); err != nil {
+			break
+		}
+	}
+	row.AttackerPeakEntries = dev.Service("audio").EntryCount("startWatchingRoutes")
+	row.SingleBlocked = dev.SystemServer().Alive() && row.AttackerPeakEntries <= quota
+	evil.ForceStop("patch probe done")
+
+	// --- Collusion: apps each staying within quota on every interface
+	// still fill the shared table together. Register quota entries on
+	// every exploitable interface per app until the table gives out.
+	rows := catalog.ExploitableInterfaces()
+	for n := 1; n <= 80; n++ {
+		app, err := dev.Apps().Install(fmt.Sprintf("com.patch.collude%02d", n))
+		if err != nil {
+			return PatchRow{}, err
+		}
+		clients := make(map[string]*services.Client)
+		for _, iface := range rows {
+			if iface.Permission != "" {
+				if !dev.Permissions().ObtainableByApp(iface.Permission) {
+					continue
+				}
+				if err := dev.Permissions().Grant(app.Uid(), iface.Permission); err != nil {
+					return PatchRow{}, err
+				}
+			}
+			c, ok := clients[iface.Service]
+			if !ok {
+				c, err = dev.NewClient(app, iface.Service)
+				if err != nil {
+					if !dev.SystemServer().Alive() || dev.SoftReboots() > 0 {
+						break
+					}
+					return PatchRow{}, err
+				}
+				clients[iface.Service] = c
+			}
+			pkg := app.Package()
+			if iface.FullName() == "notification.enqueueToast" {
+				pkg = "android"
+			}
+			for k := 0; k < quota; k++ {
+				if err := c.RegisterAs(iface.Method, pkg, c.NewToken()); err != nil {
+					break // quota reached, dead service, or reboot
+				}
+			}
+			if dev.SoftReboots() > 0 {
+				break
+			}
+		}
+		if dev.SoftReboots() > 0 {
+			row.ColludersNeeded = n
+			break
+		}
+	}
+	if row.ColludersNeeded == 0 && quota >= 20 {
+		return PatchRow{}, errors.New("collusion never exhausted the table; sweep ceiling too low")
+	}
+	return row, nil
+}

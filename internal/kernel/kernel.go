@@ -1,0 +1,363 @@
+// Package kernel simulates the slice of Linux/Android kernel behaviour the
+// paper's attack and defense depend on: a process table with uids and
+// oom_score_adj values, process death notification (the substrate of
+// binder link-to-death), the low memory killer (LMK), an in-memory procfs
+// with permission bits, and the soft reboot that follows a system_server
+// runtime abort.
+package kernel
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/simclock"
+)
+
+// Pid identifies a process.
+type Pid int
+
+// Uid identifies a Linux user. Android maps each app to its own uid.
+type Uid int
+
+// Well-known Android uids.
+const (
+	RootUid   Uid = 0
+	SystemUid Uid = 1000
+	// FirstAppUid is the first uid handed to an installed application
+	// (AID_APP in Android). Anything at or above this value is a
+	// third-party app for permission purposes.
+	FirstAppUid Uid = 10000
+)
+
+// IsAppUid reports whether uid belongs to an installed application rather
+// than the system.
+func IsAppUid(uid Uid) bool { return uid >= FirstAppUid }
+
+// Common oom_score_adj values (Android's ProcessList).
+const (
+	SystemAdj         = -1000 // never killed by LMK
+	PersistentProcAdj = -800
+	ForegroundAppAdj  = 0
+	VisibleAppAdj     = 100
+	PerceptibleAppAdj = 200
+	ServiceAdj        = 500
+	CachedAppMinAdj   = 900
+	CachedAppMaxAdj   = 906
+)
+
+// Process is one simulated process. Create via Kernel.Spawn.
+type Process struct {
+	pid         Pid
+	uid         Uid
+	name        string
+	oomScoreAdj int
+	memoryKB    int
+	startedAt   time.Duration
+	alive       bool
+	exitReason  string
+
+	vm       *art.VM
+	deathFns []func(*Process)
+	k        *Kernel
+}
+
+// Pid returns the process id.
+func (p *Process) Pid() Pid { return p.pid }
+
+// Uid returns the owning uid.
+func (p *Process) Uid() Uid { return p.uid }
+
+// Name returns the process (package) name.
+func (p *Process) Name() string { return p.name }
+
+// Alive reports whether the process is running.
+func (p *Process) Alive() bool { return p.alive }
+
+// ExitReason returns why the process died, or "" while alive.
+func (p *Process) ExitReason() string { return p.exitReason }
+
+// VM returns the process's Android runtime.
+func (p *Process) VM() *art.VM { return p.vm }
+
+// OomScoreAdj returns the current LMK priority.
+func (p *Process) OomScoreAdj() int { return p.oomScoreAdj }
+
+// SetOomScoreAdj updates the LMK priority, as ActivityManager does when an
+// app moves between foreground and cached states.
+func (p *Process) SetOomScoreAdj(adj int) { p.oomScoreAdj = adj }
+
+// MemoryKB returns the simulated resident set size.
+func (p *Process) MemoryKB() int { return p.memoryKB }
+
+// StartedAt returns the virtual time the process started.
+func (p *Process) StartedAt() time.Duration { return p.startedAt }
+
+// NotifyDeath registers fn to run when the process dies. Binder
+// link-to-death and the JGR release of a dead client are built on this.
+func (p *Process) NotifyDeath(fn func(*Process)) {
+	p.deathFns = append(p.deathFns, fn)
+}
+
+// SpawnConfig parameterizes Kernel.Spawn.
+type SpawnConfig struct {
+	Name        string
+	Uid         Uid
+	OomScoreAdj int
+	// MemoryKB is the simulated RSS; 0 means DefaultAppMemoryKB.
+	MemoryKB int
+	// VM optionally overrides the runtime configuration (tests use small
+	// JGR caps). The OnAbort hook is always chained to the kernel reaper.
+	VM art.Config
+}
+
+// DefaultAppMemoryKB is the simulated RSS of an app process (≈40 MB),
+// sized so that the LMK budget yields the ≈39 concurrently running user
+// apps observed in the paper's Fig. 4 baseline.
+const DefaultAppMemoryKB = 40 * 1024
+
+// DefaultAppMemoryBudgetKB is the memory available to user-app processes
+// before the LMK starts evicting cached apps (≈1.6 GB of the Nexus 5X's
+// 2 GB, the rest held by the system).
+const DefaultAppMemoryBudgetKB = 1600 * 1024
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// AppMemoryBudgetKB bounds total app-process memory; 0 means
+	// DefaultAppMemoryBudgetKB.
+	AppMemoryBudgetKB int
+	// OnSystemServerDeath, if non-nil, runs after a process named
+	// "system_server" dies (before the soft-reboot bookkeeping
+	// completes). The device layer uses it to restart services.
+	OnSystemServerDeath func(reason string)
+}
+
+// SystemServerName is the process name whose death soft-reboots Android.
+const SystemServerName = "system_server"
+
+// Kernel is the simulated kernel. Create with New.
+type Kernel struct {
+	clock   *simclock.Clock
+	cfg     Config
+	nextPid Pid
+	procs   map[Pid]*Process
+	procfs  *ProcFS
+
+	softReboots int
+	lmkKills    int
+	onKill      []func(*Process, string)
+}
+
+// New creates a kernel on the given clock.
+func New(clock *simclock.Clock, cfg Config) *Kernel {
+	if clock == nil {
+		panic("kernel: New requires a clock")
+	}
+	if cfg.AppMemoryBudgetKB == 0 {
+		cfg.AppMemoryBudgetKB = DefaultAppMemoryBudgetKB
+	}
+	return &Kernel{
+		clock:   clock,
+		cfg:     cfg,
+		nextPid: 1,
+		procs:   make(map[Pid]*Process),
+		procfs:  NewProcFS(),
+	}
+}
+
+// Clock returns the kernel's clock.
+func (k *Kernel) Clock() *simclock.Clock { return k.clock }
+
+// ProcFS returns the kernel's proc filesystem.
+func (k *Kernel) ProcFS() *ProcFS { return k.procfs }
+
+// SoftReboots returns how many times system_server death has soft-rebooted
+// the device.
+func (k *Kernel) SoftReboots() int { return k.softReboots }
+
+// LMKKills returns how many processes the low memory killer has evicted.
+func (k *Kernel) LMKKills() int { return k.lmkKills }
+
+// OnKill registers an observer invoked whenever a process dies, with the
+// reason string.
+func (k *Kernel) OnKill(fn func(*Process, string)) {
+	k.onKill = append(k.onKill, fn)
+}
+
+// Spawn creates a new process with its own Android runtime. A runtime
+// abort (JGR exhaustion) automatically kills the process, which in turn
+// soft-reboots the device if the process is system_server.
+func (k *Kernel) Spawn(cfg SpawnConfig) *Process {
+	if cfg.Name == "" {
+		panic("kernel: Spawn requires a process name")
+	}
+	if cfg.MemoryKB == 0 {
+		cfg.MemoryKB = DefaultAppMemoryKB
+	}
+	p := &Process{
+		pid:         k.nextPid,
+		uid:         cfg.Uid,
+		name:        cfg.Name,
+		oomScoreAdj: cfg.OomScoreAdj,
+		memoryKB:    cfg.MemoryKB,
+		startedAt:   k.clock.Now(),
+		alive:       true,
+		k:           k,
+	}
+	k.nextPid++
+
+	vmCfg := cfg.VM
+	userAbort := vmCfg.OnAbort
+	vmCfg.OnAbort = func(reason string) {
+		if userAbort != nil {
+			userAbort(reason)
+		}
+		// Runtime abort kills the owning process (paper §II-A: "the
+		// victim process's runtime will abort").
+		k.Kill(p.pid, "runtime abort: "+reason)
+	}
+	p.vm = art.NewVM(cfg.Name, k.clock, vmCfg)
+
+	k.procs[p.pid] = p
+	k.runLMK()
+	return p
+}
+
+// Process returns the process with the given pid, or nil.
+func (k *Kernel) Process(pid Pid) *Process {
+	p := k.procs[pid]
+	if p == nil || !p.alive {
+		return nil
+	}
+	return p
+}
+
+// FindProcess returns the first alive process with the given name, or nil.
+func (k *Kernel) FindProcess(name string) *Process {
+	var best *Process
+	for _, p := range k.procs {
+		if p.alive && p.name == name && (best == nil || p.pid < best.pid) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Processes returns all alive processes sorted by pid.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		if p.alive {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// RunningCount returns the number of alive processes.
+func (k *Kernel) RunningCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrNoSuchProcess is returned by Kill for a dead or unknown pid.
+var ErrNoSuchProcess = errors.New("kernel: no such process")
+
+// Kill terminates a process, firing its death notifications. Killing
+// system_server triggers a soft reboot: every non-system process dies with
+// it (their runtimes, and thus all their references, are discarded).
+func (k *Kernel) Kill(pid Pid, reason string) error {
+	p := k.procs[pid]
+	if p == nil || !p.alive {
+		return ErrNoSuchProcess
+	}
+	p.alive = false
+	p.exitReason = reason
+	// Death notifications fire in registration order; recipients may kill
+	// further processes (binder death cascades), which is safe because
+	// each Kill is idempotent per pid.
+	for _, fn := range p.deathFns {
+		fn(p)
+	}
+	p.deathFns = nil
+	for _, fn := range k.onKill {
+		fn(p, reason)
+	}
+	if p.name == SystemServerName {
+		k.softReboot("system_server died: " + reason)
+	}
+	return nil
+}
+
+// softReboot models Android's crash recovery: when system_server dies the
+// whole user space is torn down and restarted (paper §II-A: "the entire
+// Android system crashes, followed by a soft reboot").
+func (k *Kernel) softReboot(reason string) {
+	k.softReboots++
+	for _, p := range k.procs {
+		if !p.alive || p.name == SystemServerName {
+			continue
+		}
+		p.alive = false
+		p.exitReason = "soft reboot: " + reason
+		for _, fn := range p.deathFns {
+			fn(p)
+		}
+		p.deathFns = nil
+		for _, fn := range k.onKill {
+			fn(p, p.exitReason)
+		}
+	}
+	if cb := k.cfg.OnSystemServerDeath; cb != nil {
+		cb(reason)
+	}
+}
+
+// appMemoryKB sums the RSS of alive app-uid processes.
+func (k *Kernel) appMemoryKB() int {
+	total := 0
+	for _, p := range k.procs {
+		if p.alive && IsAppUid(p.uid) {
+			total += p.memoryKB
+		}
+	}
+	return total
+}
+
+// runLMK applies the low memory killer policy: while app memory exceeds
+// the budget, kill the app process with the highest oom_score_adj
+// (breaking ties by oldest start time), never touching processes with
+// adj <= 0. This mirrors Android's LMK victim selection (paper §VII).
+func (k *Kernel) runLMK() {
+	for k.appMemoryKB() > k.cfg.AppMemoryBudgetKB {
+		victim := k.lmkVictim()
+		if victim == nil {
+			return // only unkillable processes left
+		}
+		k.lmkKills++
+		k.Kill(victim.pid, "lmk")
+	}
+}
+
+func (k *Kernel) lmkVictim() *Process {
+	var victim *Process
+	for _, p := range k.procs {
+		if !p.alive || !IsAppUid(p.uid) || p.oomScoreAdj <= 0 {
+			continue
+		}
+		if victim == nil ||
+			p.oomScoreAdj > victim.oomScoreAdj ||
+			(p.oomScoreAdj == victim.oomScoreAdj && p.startedAt < victim.startedAt) ||
+			(p.oomScoreAdj == victim.oomScoreAdj && p.startedAt == victim.startedAt && p.pid < victim.pid) {
+			victim = p
+		}
+	}
+	return victim
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Access errors returned by ProcFS operations.
+var (
+	ErrPermissionDenied = errors.New("procfs: permission denied")
+	ErrNoSuchFile       = errors.New("procfs: no such file")
+	ErrFileExists       = errors.New("procfs: file exists")
+)
+
+// procFile is one in-memory procfs node.
+type procFile struct {
+	data []byte
+	// worldReadable grants read access to app uids. The JGRE defense
+	// creates /proc/jgre_ipc_log as system-only so that malicious apps
+	// can neither observe nor tamper with the IPC evidence (paper §V-B:
+	// "we set the permission of the file so that it can be only accessed
+	// by system service but not third-party apps").
+	worldReadable bool
+	ownerUid      Uid
+}
+
+// ProcFS is a minimal in-memory proc filesystem with per-file read
+// permissions. Writes are restricted to the file owner (the kernel-side
+// producer); reads honour the world-readable bit.
+type ProcFS struct {
+	mu    sync.Mutex
+	files map[string]*procFile
+}
+
+// NewProcFS returns an empty filesystem.
+func NewProcFS() *ProcFS {
+	return &ProcFS{files: make(map[string]*procFile)}
+}
+
+// Create registers a new file owned by ownerUid. It fails if the path
+// already exists.
+func (fs *ProcFS) Create(path string, ownerUid Uid, worldReadable bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("create %s: %w", path, ErrFileExists)
+	}
+	fs.files[path] = &procFile{ownerUid: ownerUid, worldReadable: worldReadable}
+	return nil
+}
+
+// Write replaces the file contents. Only the owner may write.
+func (fs *ProcFS) Write(path string, uid Uid, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("write %s: %w", path, ErrNoSuchFile)
+	}
+	if uid != f.ownerUid && uid != RootUid {
+		return fmt.Errorf("write %s by uid %d: %w", path, uid, ErrPermissionDenied)
+	}
+	f.data = append([]byte(nil), data...)
+	return nil
+}
+
+// Append appends to the file contents. Only the owner may append.
+func (fs *ProcFS) Append(path string, uid Uid, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("append %s: %w", path, ErrNoSuchFile)
+	}
+	if uid != f.ownerUid && uid != RootUid {
+		return fmt.Errorf("append %s by uid %d: %w", path, uid, ErrPermissionDenied)
+	}
+	f.data = append(f.data, data...)
+	return nil
+}
+
+// Read returns a copy of the file contents, enforcing read permission:
+// the owner, root and the system uid always read; other uids only if the
+// file is world-readable.
+func (fs *ProcFS) Read(path string, uid Uid) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", path, ErrNoSuchFile)
+	}
+	if !f.worldReadable && uid != f.ownerUid && uid != RootUid && uid != SystemUid {
+		return nil, fmt.Errorf("read %s by uid %d: %w", path, uid, ErrPermissionDenied)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Remove deletes a file. Only the owner or root may remove it.
+func (fs *ProcFS) Remove(path string, uid Uid) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("remove %s: %w", path, ErrNoSuchFile)
+	}
+	if uid != f.ownerUid && uid != RootUid {
+		return fmt.Errorf("remove %s by uid %d: %w", path, uid, ErrPermissionDenied)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths in sorted order (no permission needed, matching
+// procfs directory listings).
+func (fs *ProcFS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCIIChart renders one or two series as a fixed-size terminal scatter
+// chart — enough to eyeball the shape of Fig. 3's growth curves or
+// Fig. 10's two latency lines without leaving the terminal. The first
+// series plots as '*', the second as '+' (overlaps show '#').
+func ASCIIChart(title string, width, height int, series ...*Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	var plotted []*Series
+	for _, s := range series {
+		if s != nil && s.Len() > 0 {
+			plotted = append(plotted, s)
+		}
+	}
+	if len(plotted) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if len(plotted) > 2 {
+		plotted = plotted[:2]
+	}
+
+	minT, maxT := plotted[0].Points[0].T, plotted[0].Points[0].T
+	minV, maxV := plotted[0].Points[0].V, plotted[0].Points[0].V
+	for _, s := range plotted {
+		for _, p := range s.Points {
+			if p.T < minT {
+				minT = p.T
+			}
+			if p.T > maxT {
+				maxT = p.T
+			}
+			if p.V < minV {
+				minV = p.V
+			}
+			if p.V > maxV {
+				maxV = p.V
+			}
+		}
+	}
+	tSpan := float64(maxT - minT)
+	vSpan := maxV - minV
+	if tSpan == 0 {
+		tSpan = 1
+	}
+	if vSpan == 0 {
+		vSpan = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+'}
+	for si, s := range plotted {
+		for _, p := range s.Points {
+			x := int(math.Round(float64(p.T-minT) / tSpan * float64(width-1)))
+			y := height - 1 - int(math.Round((p.V-minV)/vSpan*float64(height-1)))
+			if x < 0 || x >= width || y < 0 || y >= height {
+				continue
+			}
+			switch grid[y][x] {
+			case ' ':
+				grid[y][x] = marks[si]
+			case marks[1-si]:
+				grid[y][x] = '#'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.0f", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%8.0f", minV)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%9s %-*.1fs%*.1fs\n", "", width/2, minT.Seconds(), width-width/2, maxT.Seconds())
+	if len(plotted) == 2 {
+		fmt.Fprintf(&b, "          * %s   + %s\n", plotted[0].Name, plotted[1].Name)
+	}
+	return b.String()
+}

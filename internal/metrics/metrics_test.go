@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 || s.Last() != 0 || s.Len() != 0 {
+		t.Fatal("empty series not zero")
+	}
+	s.Add(time.Second, 3)
+	s.Add(2*time.Second, 1)
+	s.Add(3*time.Second, 2)
+	if s.Min() != 1 || s.Max() != 3 || s.Last() != 2 || s.Len() != 3 {
+		t.Fatalf("series stats wrong: %+v", s)
+	}
+	tsv := s.TSV()
+	if tsv != "1.000\t3.000\n2.000\t1.000\n3.000\t2.000\n" {
+		t.Fatalf("TSV = %q", tsv)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum := Summarize([]float64{1, 2, 3, 4, 5})
+	if sum.N != 5 || sum.Min != 1 || sum.Max != 5 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Mean != 3 {
+		t.Fatalf("mean = %v", sum.Mean)
+	}
+	if math.Abs(sum.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", sum.Stddev)
+	}
+	if sum.P50 != 3 {
+		t.Fatalf("p50 = %v", sum.P50)
+	}
+	if empty := Summarize(nil); empty.N != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	steps := c.Steps(5)
+	if len(steps) != 5 || steps[0].V <= 0 || steps[4].V != 1 {
+		t.Errorf("Steps = %v", steps)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Quantile(0.5) != 0 || c.Steps(3) != nil {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+// Property: CDF is monotone and bounded by [0, 1].
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(values []float64, probes []float64) bool {
+		for i, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				values[i] = 0
+			}
+		}
+		c := NewCDF(values)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize min/max/quantiles are consistent with the sample.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(values []float64) bool {
+		clean := values[:0]
+		for _, v := range values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	got := Durations([]time.Duration{time.Millisecond, 2500 * time.Microsecond})
+	if len(got) != 2 || got[0] != 1000 || got[1] != 2500 {
+		t.Fatalf("Durations = %v", got)
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	var a, b Series
+	a.Name = "stock"
+	b.Name = "defended"
+	for i := 0; i <= 10; i++ {
+		a.Add(time.Duration(i)*time.Second, float64(i*10))
+		b.Add(time.Duration(i)*time.Second, float64(i*15))
+	}
+	out := ASCIIChart("latency", 40, 10, &a, &b)
+	for _, want := range []string{"latency", "*", "+", "stock", "defended", "150", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + legend
+	if len(lines) != 1+10+1+1 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIChartEmptyAndClamped(t *testing.T) {
+	if out := ASCIIChart("x", 40, 10); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	var s Series
+	s.Add(0, 5) // single flat point: spans clamp to 1
+	out := ASCIIChart("one", 1, 1, &s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single-point chart missing mark:\n%s", out)
+	}
+}

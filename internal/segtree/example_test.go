@@ -1,0 +1,22 @@
+package segtree_test
+
+import (
+	"fmt"
+
+	"repro/internal/segtree"
+)
+
+// Example accumulates candidate-delay intervals the way Algorithm 1 does
+// and reads off the best-supported delay.
+func Example() {
+	// Delay axis: 10 buckets; three IPC calls whose candidate delays are
+	// [2,4], [3,5] and [3,6].
+	tr := segtree.New(10)
+	tr.Add(2, 4, 1)
+	tr.Add(3, 5, 1)
+	tr.Add(3, 6, 1)
+	pos, votes := tr.ArgMax()
+	fmt.Printf("best delay bucket %d with %d supporting calls\n", pos, votes)
+	// Output:
+	// best delay bucket 3 with 3 supporting calls
+}

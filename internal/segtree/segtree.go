@@ -1,0 +1,147 @@
+// Package segtree implements a lazy-propagation segment tree supporting
+// range addition and range maximum queries over a fixed integer domain.
+//
+// The JGRE Defender's scoring algorithm (paper §V-A, Algorithm 1) must, for
+// every (IPC call, JGR creation) pair, increment a whole interval of
+// candidate delay values [JGRTime-IPCTime, JGRTime-IPCTime+Δ] and finally
+// take the best-supported delay — i.e. the maximum bucket. A naive array
+// makes each increment O(Δ); the paper reports using a segment tree
+// (§V-D.2) to keep both the range update and the max query logarithmic.
+package segtree
+
+import "fmt"
+
+// Tree is a segment tree over the domain [0, n) with range-add updates and
+// range-max queries. It must be created with New.
+type Tree struct {
+	n    int
+	max  []int64 // max over the node's segment, excluding pending adds above it
+	lazy []int64 // pending add applying to the whole segment
+}
+
+// New returns a tree over the domain [0, n). All values start at zero.
+// It panics if n <= 0.
+func New(n int) *Tree {
+	if n <= 0 {
+		panic(fmt.Sprintf("segtree: domain size must be positive, got %d", n))
+	}
+	return &Tree{
+		n:    n,
+		max:  make([]int64, 4*n),
+		lazy: make([]int64, 4*n),
+	}
+}
+
+// Len returns the domain size n.
+func (t *Tree) Len() int { return t.n }
+
+// Add adds v to every position in [lo, hi] (inclusive). Positions outside
+// [0, n) are clamped; an empty interval after clamping is a no-op.
+func (t *Tree) Add(lo, hi int, v int64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= t.n {
+		hi = t.n - 1
+	}
+	if lo > hi {
+		return
+	}
+	t.add(1, 0, t.n-1, lo, hi, v)
+}
+
+// Max returns the maximum value over [lo, hi] (inclusive), clamped to the
+// domain. It panics if the clamped interval is empty.
+func (t *Tree) Max(lo, hi int) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= t.n {
+		hi = t.n - 1
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("segtree: Max over empty interval [%d, %d]", lo, hi))
+	}
+	return t.query(1, 0, t.n-1, lo, hi)
+}
+
+// GlobalMax returns the maximum value over the whole domain.
+func (t *Tree) GlobalMax() int64 { return t.Max(0, t.n-1) }
+
+// Get returns the value at position i.
+func (t *Tree) Get(i int) int64 {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("segtree: Get(%d) out of domain [0, %d)", i, t.n))
+	}
+	return t.query(1, 0, t.n-1, i, i)
+}
+
+// ArgMax returns the smallest position holding the global maximum, along
+// with that maximum.
+func (t *Tree) ArgMax() (pos int, max int64) {
+	max = t.GlobalMax()
+	node, lo, hi := 1, 0, t.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.push(node)
+		if t.max[2*node] >= t.max[2*node+1] {
+			node, hi = 2*node, mid
+		} else {
+			node, lo = 2*node+1, mid+1
+		}
+	}
+	return lo, max
+}
+
+func (t *Tree) add(node, lo, hi, qlo, qhi int, v int64) {
+	if qlo <= lo && hi <= qhi {
+		t.max[node] += v
+		t.lazy[node] += v
+		return
+	}
+	t.push(node)
+	mid := (lo + hi) / 2
+	if qlo <= mid {
+		t.add(2*node, lo, mid, qlo, min(qhi, mid), v)
+	}
+	if qhi > mid {
+		t.add(2*node+1, mid+1, hi, max(qlo, mid+1), qhi, v)
+	}
+	t.max[node] = maxi64(t.max[2*node], t.max[2*node+1])
+}
+
+func (t *Tree) query(node, lo, hi, qlo, qhi int) int64 {
+	if qlo <= lo && hi <= qhi {
+		return t.max[node]
+	}
+	t.push(node)
+	mid := (lo + hi) / 2
+	if qhi <= mid {
+		return t.query(2*node, lo, mid, qlo, qhi)
+	}
+	if qlo > mid {
+		return t.query(2*node+1, mid+1, hi, qlo, qhi)
+	}
+	return maxi64(
+		t.query(2*node, lo, mid, qlo, mid),
+		t.query(2*node+1, mid+1, hi, mid+1, qhi),
+	)
+}
+
+// push propagates node's pending add to its children.
+func (t *Tree) push(node int) {
+	if l := t.lazy[node]; l != 0 {
+		for _, ch := range [2]int{2 * node, 2*node + 1} {
+			t.max[ch] += l
+			t.lazy[ch] += l
+		}
+		t.lazy[node] = 0
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

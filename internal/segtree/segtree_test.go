@@ -1,0 +1,286 @@
+package segtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewInvalidSizePanics(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tr := New(1)
+	if got := tr.GlobalMax(); got != 0 {
+		t.Fatalf("fresh GlobalMax = %d, want 0", got)
+	}
+	tr.Add(0, 0, 7)
+	tr.Add(0, 0, -2)
+	if got := tr.Get(0); got != 5 {
+		t.Fatalf("Get(0) = %d, want 5", got)
+	}
+}
+
+func TestRangeAddAndMax(t *testing.T) {
+	tr := New(10)
+	tr.Add(2, 6, 3)
+	tr.Add(4, 9, 2)
+
+	wants := []int64{0, 0, 3, 3, 5, 5, 5, 2, 2, 2}
+	for i, want := range wants {
+		if got := tr.Get(i); got != want {
+			t.Errorf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := tr.Max(0, 3); got != 3 {
+		t.Errorf("Max(0,3) = %d, want 3", got)
+	}
+	if got := tr.Max(7, 9); got != 2 {
+		t.Errorf("Max(7,9) = %d, want 2", got)
+	}
+	if got := tr.GlobalMax(); got != 5 {
+		t.Errorf("GlobalMax = %d, want 5", got)
+	}
+}
+
+func TestClamping(t *testing.T) {
+	tr := New(5)
+	tr.Add(-10, 2, 1) // clamps to [0,2]
+	tr.Add(3, 100, 4) // clamps to [3,4]
+	tr.Add(50, 60, 9) // entirely out of domain: no-op
+	wants := []int64{1, 1, 1, 4, 4}
+	for i, want := range wants {
+		if got := tr.Get(i); got != want {
+			t.Errorf("Get(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestArgMaxSmallestPosition(t *testing.T) {
+	tr := New(8)
+	tr.Add(1, 3, 5)
+	tr.Add(5, 6, 5)
+	pos, max := tr.ArgMax()
+	if max != 5 {
+		t.Fatalf("ArgMax max = %d, want 5", max)
+	}
+	if pos != 1 {
+		t.Fatalf("ArgMax pos = %d, want 1 (smallest winner)", pos)
+	}
+}
+
+func TestNegativeValues(t *testing.T) {
+	tr := New(4)
+	tr.Add(0, 3, -5)
+	tr.Add(2, 2, 10)
+	if got := tr.GlobalMax(); got != 5 {
+		t.Fatalf("GlobalMax = %d, want 5", got)
+	}
+	pos, _ := tr.ArgMax()
+	if pos != 2 {
+		t.Fatalf("ArgMax pos = %d, want 2", pos)
+	}
+}
+
+// naive is an array-based oracle implementing the same operations.
+type naive []int64
+
+func (a naive) add(lo, hi int, v int64) {
+	for i := max(lo, 0); i <= hi && i < len(a); i++ {
+		a[i] += v
+	}
+}
+
+func (a naive) max(lo, hi int) int64 {
+	lo, hi = max(lo, 0), min(hi, len(a)-1)
+	m := a[lo]
+	for i := lo + 1; i <= hi; i++ {
+		if a[i] > m {
+			m = a[i]
+		}
+	}
+	return m
+}
+
+func TestAgainstNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 257 // deliberately not a power of two
+	tr := New(n)
+	oracle := make(naive, n)
+
+	for step := 0; step < 5000; step++ {
+		lo, hi := rng.Intn(n), rng.Intn(n)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		switch rng.Intn(3) {
+		case 0:
+			v := int64(rng.Intn(41) - 20)
+			tr.Add(lo, hi, v)
+			oracle.add(lo, hi, v)
+		case 1:
+			if got, want := tr.Max(lo, hi), oracle.max(lo, hi); got != want {
+				t.Fatalf("step %d: Max(%d,%d) = %d, oracle %d", step, lo, hi, got, want)
+			}
+		case 2:
+			i := rng.Intn(n)
+			if got, want := tr.Get(i), oracle[i]; got != want {
+				t.Fatalf("step %d: Get(%d) = %d, oracle %d", step, i, got, want)
+			}
+		}
+	}
+	// Final full sweep.
+	for i := 0; i < n; i++ {
+		if got, want := tr.Get(i), oracle[i]; got != want {
+			t.Fatalf("final: Get(%d) = %d, oracle %d", i, got, want)
+		}
+	}
+	pos, m := tr.ArgMax()
+	if want := oracle.max(0, n-1); m != want {
+		t.Fatalf("ArgMax max = %d, oracle %d", m, want)
+	}
+	if oracle[pos] != m {
+		t.Fatalf("ArgMax pos %d holds %d, want %d", pos, oracle[pos], m)
+	}
+}
+
+// TestQuickRangeAddMax property: after a batch of adds, GlobalMax equals the
+// oracle's max, for arbitrary small batches.
+func TestQuickRangeAddMax(t *testing.T) {
+	type op struct {
+		Lo, Hi uint8
+		V      int16
+	}
+	f := func(ops []op) bool {
+		const n = 256
+		tr := New(n)
+		oracle := make(naive, n)
+		for _, o := range ops {
+			lo, hi := int(o.Lo), int(o.Hi)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			tr.Add(lo, hi, int64(o.V))
+			oracle.add(lo, hi, int64(o.V))
+		}
+		return tr.GlobalMax() == oracle.max(0, n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRangeAdd(b *testing.B) {
+	tr := New(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Intn(1 << 20)
+		tr.Add(lo, lo+1000, 1)
+	}
+}
+
+func BenchmarkGlobalMax(b *testing.B) {
+	tr := New(1 << 20)
+	for i := 0; i < 10000; i++ {
+		tr.Add(i*7%(1<<20), i*7%(1<<20)+500, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.GlobalMax()
+	}
+}
+
+// BenchmarkAlgorithm1ShapeSegtree measures the range-add/global-max
+// workload Algorithm 1 issues (≈10k candidate-delay intervals of Δ width
+// over a 2,500-bucket domain) on the segment tree...
+func BenchmarkAlgorithm1ShapeSegtree(b *testing.B) {
+	const domain, intervals, width = 2502, 10000, 18
+	rng := rand.New(rand.NewSource(9))
+	starts := make([]int, intervals)
+	for i := range starts {
+		starts[i] = rng.Intn(domain - width)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(domain)
+		for _, s := range starts {
+			tr.Add(s, s+width, 1)
+		}
+		if tr.GlobalMax() == 0 {
+			b.Fatal("no max")
+		}
+	}
+}
+
+// ...and BenchmarkAlgorithm1ShapeNaive on a plain array — the ablation
+// behind the paper's §V-D2 choice of a segment tree.
+func BenchmarkAlgorithm1ShapeNaive(b *testing.B) {
+	const domain, intervals, width = 2502, 10000, 18
+	rng := rand.New(rand.NewSource(9))
+	starts := make([]int, intervals)
+	for i := range starts {
+		starts[i] = rng.Intn(domain - width)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := make(naive, domain)
+		for _, s := range starts {
+			arr.add(s, s+width, 1)
+		}
+		if arr.max(0, domain-1) == 0 {
+			b.Fatal("no max")
+		}
+	}
+}
+
+// The fine-granularity variant: 1 µs delay buckets over a 250 ms window
+// (250k-bucket domain) with Δ = 1,800-bucket intervals — the regime where
+// the paper's segment tree beats the flat array decisively.
+func BenchmarkAlgorithm1FineSegtree(b *testing.B) {
+	const domain, intervals, width = 250000, 10000, 1800
+	rng := rand.New(rand.NewSource(9))
+	starts := make([]int, intervals)
+	for i := range starts {
+		starts[i] = rng.Intn(domain - width)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(domain)
+		for _, s := range starts {
+			tr.Add(s, s+width, 1)
+		}
+		if tr.GlobalMax() == 0 {
+			b.Fatal("no max")
+		}
+	}
+}
+
+func BenchmarkAlgorithm1FineNaive(b *testing.B) {
+	const domain, intervals, width = 250000, 10000, 1800
+	rng := rand.New(rand.NewSource(9))
+	starts := make([]int, intervals)
+	for i := range starts {
+		starts[i] = rng.Intn(domain - width)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr := make(naive, domain)
+		for _, s := range starts {
+			arr.add(s, s+width, 1)
+		}
+		if arr.max(0, domain-1) == 0 {
+			b.Fatal("no max")
+		}
+	}
+}

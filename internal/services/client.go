@@ -1,0 +1,195 @@
+package services
+
+import (
+	"fmt"
+
+	"repro/internal/binder"
+	"repro/internal/catalog"
+	"repro/internal/kernel"
+)
+
+// Client is an app-side handle on a catalogued system service: the app's
+// retained proxy plus the compiled-in transaction-code table. It is the
+// *raw* binder interface — what a malicious app uses to bypass helper
+// classes (Code-Snippet 2 builds exactly this against "wifi").
+type Client struct {
+	serviceName string
+	proc        *kernel.Process
+	driver      *binder.Driver
+	ref         *binder.BinderRef
+	codes       map[string]binder.TxCode
+	pkg         string
+}
+
+// NewClient looks the service up in the ServiceManager on behalf of proc.
+// pkg is the caller's package name, passed as the first argument of every
+// call (and spoofable — nothing verifies it, which is the enqueueToast
+// hole).
+func NewClient(sm *binder.ServiceManager, d *binder.Driver, proc *kernel.Process, pkg, serviceName string) (*Client, error) {
+	ref, err := sm.GetService(serviceName, proc)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		serviceName: serviceName,
+		proc:        proc,
+		driver:      d,
+		ref:         ref,
+		codes:       MethodCodes(catalog.InterfacesForService(serviceName)),
+		pkg:         pkg,
+	}, nil
+}
+
+// ServiceName returns the target service's registry name.
+func (c *Client) ServiceName() string { return c.serviceName }
+
+// Proc returns the calling process.
+func (c *Client) Proc() *kernel.Process { return c.proc }
+
+// code resolves a method name.
+func (c *Client) code(method string) (binder.TxCode, error) {
+	code, ok := c.codes[method]
+	if !ok {
+		return 0, fmt.Errorf("services: %s has no method %q", c.serviceName, method)
+	}
+	return code, nil
+}
+
+// NewToken mints a fresh Binder token owned by the calling process — the
+// `new Binder()` of the attack loop.
+func (c *Client) NewToken() *binder.LocalBinder {
+	return c.driver.NewLocalBinder(c.proc, "android.os.Binder", nil)
+}
+
+// Register invokes a retaining method with a fresh token, using the
+// client's own package name.
+func (c *Client) Register(method string) error {
+	return c.RegisterAs(method, c.pkg, c.NewToken())
+}
+
+// RegisterToken invokes a retaining method with the given token.
+func (c *Client) RegisterToken(method string, token binder.IBinder) error {
+	return c.RegisterAs(method, c.pkg, token)
+}
+
+// RegisterAs invokes a retaining method claiming the given package name —
+// the spoofing primitive behind the enqueueToast bypass ("android").
+func (c *Client) RegisterAs(method, pkg string, token binder.IBinder) error {
+	code, err := c.code(method)
+	if err != nil {
+		return err
+	}
+	data, reply := binder.NewParcel(), binder.NewParcel()
+	data.WriteString(pkg)
+	data.WriteStrongBinder(token)
+	return c.ref.Binder().Transact(code, data, reply)
+}
+
+// RegisterPath invokes a retaining method selecting an execution-path
+// variant (paper §VI's multi-path attack primitive). The variant rides as
+// an int32 between the package name and the callback binder and also
+// changes the transaction size, which is what lets the defender classify
+// calls by code path.
+func (c *Client) RegisterPath(method, pkg string, variant int32, token binder.IBinder) error {
+	code, err := c.code(method)
+	if err != nil {
+		return err
+	}
+	data, reply := binder.NewParcel(), binder.NewParcel()
+	data.WriteString(pkg)
+	data.WriteInt32(variant)
+	// Path-dependent extra payload: different branches marshal different
+	// argument structures.
+	data.WriteBytes(make([]byte, int(variant)*64))
+	data.WriteStrongBinder(token)
+	return c.ref.Binder().Transact(code, data, reply)
+}
+
+// Unregister releases the caller's oldest registration on method.
+func (c *Client) Unregister(method string) error {
+	code, err := c.code(UnregisterPrefix + method)
+	if err != nil {
+		return err
+	}
+	data, reply := binder.NewParcel(), binder.NewParcel()
+	data.WriteString(c.pkg)
+	return c.ref.Binder().Transact(code, data, reply)
+}
+
+// Call invokes a non-retaining method. Methods that read a binder
+// argument (local-use, read-only) receive a fresh token.
+func (c *Client) Call(method string) error {
+	code, err := c.code(method)
+	if err != nil {
+		return err
+	}
+	data, reply := binder.NewParcel(), binder.NewParcel()
+	data.WriteString(c.pkg)
+	data.WriteStrongBinder(c.NewToken())
+	return c.ref.Binder().Transact(code, data, reply)
+}
+
+// Close releases the client's proxy on the service.
+func (c *Client) Close() { c.ref.Release() }
+
+// Helper is a service helper class (Table II): the developer-friendly
+// wrapper that encapsulates the raw interface AND carries Android's only
+// guard for nine vulnerable interfaces — a client-side quota. Because the
+// quota executes in the app's own process, it protects against
+// *accidental* exhaustion only; a malicious app simply skips the helper
+// (paper §IV-C1).
+type Helper struct {
+	client *Client
+	iface  catalog.Interface
+	active int
+}
+
+// NewHelper wraps client with the helper guard of the catalogued
+// interface. It panics if the interface is not helper-guarded: that would
+// be a misuse of the API, not a runtime condition.
+func NewHelper(client *Client, iface catalog.Interface) *Helper {
+	if iface.Protection != catalog.HelperGuard {
+		panic(fmt.Sprintf("services: %s is not helper-guarded", iface.FullName()))
+	}
+	if iface.Service != client.ServiceName() {
+		panic(fmt.Sprintf("services: helper for %s wrapping client of %s", iface.FullName(), client.ServiceName()))
+	}
+	return &Helper{client: client, iface: iface}
+}
+
+// Acquire performs the guarded registration. Mirroring Code-Snippet 1
+// (WifiManager.acquire), the helper first issues the IPC and only then
+// checks its local count, releasing and failing once MAX_ACTIVE_LOCKS is
+// exceeded.
+func (h *Helper) Acquire() error {
+	if err := h.client.Register(h.iface.Method); err != nil {
+		return err
+	}
+	h.active++
+	if h.active > h.iface.GuardLimit {
+		// Release what we just acquired and refuse, exactly as
+		// WifiManager throws after mService.releaseWifiLock(mBinder).
+		if err := h.client.Unregister(h.iface.Method); err != nil {
+			return err
+		}
+		h.active--
+		return fmt.Errorf("services: exceeded maximum number of %s locks (%d)",
+			h.iface.Service, h.iface.GuardLimit)
+	}
+	return nil
+}
+
+// Release undoes one registration.
+func (h *Helper) Release() error {
+	if h.active == 0 {
+		return ErrNoEntry
+	}
+	if err := h.client.Unregister(h.iface.Method); err != nil {
+		return err
+	}
+	h.active--
+	return nil
+}
+
+// Active returns the helper-tracked registration count.
+func (h *Helper) Active() int { return h.active }

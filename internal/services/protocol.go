@@ -1,0 +1,55 @@
+package services
+
+import (
+	"sort"
+
+	"repro/internal/binder"
+	"repro/internal/catalog"
+)
+
+// MethodCodes computes the transaction-code table for a service exposing
+// the given catalogued interfaces: the catalogued methods, their generated
+// unregister pairs, and the fixed innocent set, numbered 1..n in sorted
+// name order. The assignment is a pure function of the catalog, so clients
+// (whose stubs would be compiled from the same AIDL in real Android) can
+// derive codes without talking to the service.
+func MethodCodes(ifaces []catalog.Interface) map[string]binder.TxCode {
+	names := MethodNamesFor(ifaces)
+	codes := make(map[string]binder.TxCode, len(names))
+	for i, n := range names {
+		codes[n] = binder.TxCode(i + 1)
+	}
+	return codes
+}
+
+// MethodNamesFor returns the sorted dispatchable method names for a
+// service exposing the given catalogued interfaces.
+func MethodNamesFor(ifaces []catalog.Interface) []string {
+	seen := make(map[string]bool)
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, spec := range ifaces {
+		add(spec.Method)
+	}
+	for _, spec := range ifaces {
+		add(UnregisterPrefix + spec.Method)
+	}
+	for _, in := range InnocentMethods {
+		add(in.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CodeFor returns the transaction code of method on the named (catalogued)
+// service.
+func CodeFor(serviceName, method string) (binder.TxCode, bool) {
+	codes := MethodCodes(catalog.InterfacesForService(serviceName))
+	c, ok := codes[method]
+	return c, ok
+}

@@ -1,0 +1,144 @@
+// Package trace provides a bounded, virtual-time-stamped event journal
+// for the device simulation: process lifecycle, LMK evictions, soft
+// reboots and defender engagements land here, giving examples and
+// post-mortem tooling a forensic timeline (the `logcat` of the
+// simulator).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind classifies journal events.
+type Kind int
+
+// Event kinds.
+const (
+	KindSpawn Kind = iota + 1
+	KindKill
+	KindLMK
+	KindReboot
+	KindDetection
+	KindNote
+)
+
+// String returns the logcat-style tag.
+func (k Kind) String() string {
+	switch k {
+	case KindSpawn:
+		return "SPAWN"
+	case KindKill:
+		return "KILL"
+	case KindLMK:
+		return "LMK"
+	case KindReboot:
+		return "REBOOT"
+	case KindDetection:
+		return "JGRE"
+	case KindNote:
+		return "NOTE"
+	default:
+		return fmt.Sprintf("KIND(%d)", int(k))
+	}
+}
+
+// Event is one journal entry.
+type Event struct {
+	T       time.Duration
+	Kind    Kind
+	Subject string // process/package/service concerned
+	Detail  string
+}
+
+// String renders one logcat-style line.
+func (e Event) String() string {
+	return fmt.Sprintf("%10.3f %-6s %-28s %s", e.T.Seconds(), e.Kind, e.Subject, e.Detail)
+}
+
+// DefaultCapacity bounds the journal; older events are dropped first.
+const DefaultCapacity = 4096
+
+// Journal is a bounded event ring. The zero value is not usable; create
+// with New.
+type Journal struct {
+	cap    int
+	events []Event
+	// dropped counts events discarded to honour the capacity.
+	dropped int
+}
+
+// New creates a journal holding up to capacity events (0 selects
+// DefaultCapacity).
+func New(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Journal{cap: capacity}
+}
+
+// Record appends an event, evicting the oldest entry when full.
+func (j *Journal) Record(ev Event) {
+	if len(j.events) == j.cap {
+		copy(j.events, j.events[1:])
+		j.events = j.events[:j.cap-1]
+		j.dropped++
+	}
+	j.events = append(j.events, ev)
+}
+
+// Add is Record with the fields spelled out.
+func (j *Journal) Add(t time.Duration, kind Kind, subject, detail string) {
+	j.Record(Event{T: t, Kind: kind, Subject: subject, Detail: detail})
+}
+
+// Len returns the current event count.
+func (j *Journal) Len() int { return len(j.events) }
+
+// Dropped returns how many events capacity eviction discarded.
+func (j *Journal) Dropped() int { return j.dropped }
+
+// Events returns a copy of the journal in order.
+func (j *Journal) Events() []Event {
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// Filter returns the events of one kind, in order.
+func (j *Journal) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range j.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Since returns the events at or after t.
+func (j *Journal) Since(t time.Duration) []Event {
+	var out []Event
+	for _, e := range j.events {
+		if e.T >= t {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the journal (optionally only the last n events; n <= 0
+// writes everything).
+func (j *Journal) Dump(w io.Writer, n int) {
+	evs := j.events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	if j.dropped > 0 {
+		fmt.Fprintf(w, "(%d older events dropped)\n", j.dropped)
+	}
+	for _, e := range evs {
+		fmt.Fprintln(w, e)
+	}
+}

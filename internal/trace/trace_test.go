@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndAccessors(t *testing.T) {
+	j := New(0)
+	j.Add(time.Second, KindSpawn, "system_server", "boot")
+	j.Add(2*time.Second, KindKill, "com.evil.app", "jgre-defender")
+	j.Add(3*time.Second, KindReboot, "system_server", "runtime abort")
+	if j.Len() != 3 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if got := j.Filter(KindKill); len(got) != 1 || got[0].Subject != "com.evil.app" {
+		t.Fatalf("Filter = %v", got)
+	}
+	if got := j.Since(2 * time.Second); len(got) != 2 {
+		t.Fatalf("Since = %v", got)
+	}
+	evs := j.Events()
+	evs[0].Subject = "mutated"
+	if j.Events()[0].Subject != "system_server" {
+		t.Fatal("Events leaked internal storage")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	j := New(3)
+	for i := 0; i < 5; i++ {
+		j.Add(time.Duration(i)*time.Second, KindNote, "s", "d")
+	}
+	if j.Len() != 3 || j.Dropped() != 2 {
+		t.Fatalf("Len = %d, Dropped = %d", j.Len(), j.Dropped())
+	}
+	if got := j.Events()[0].T; got != 2*time.Second {
+		t.Fatalf("oldest retained = %v, want 2s", got)
+	}
+}
+
+func TestDump(t *testing.T) {
+	j := New(2)
+	j.Add(time.Second, KindLMK, "com.bg.app", "evicted")
+	j.Add(2*time.Second, KindDetection, "system_server", "killed [com.evil.app]")
+	j.Add(3*time.Second, KindNote, "x", "y")
+	var sb strings.Builder
+	j.Dump(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "(1 older events dropped)") {
+		t.Errorf("dropped marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "JGRE") || !strings.Contains(out, "NOTE") {
+		t.Errorf("tags missing:\n%s", out)
+	}
+	var tail strings.Builder
+	j.Dump(&tail, 1)
+	if strings.Contains(tail.String(), "JGRE") {
+		t.Error("Dump(1) printed more than the last event")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindSpawn: "SPAWN", KindKill: "KILL", KindLMK: "LMK",
+		KindReboot: "REBOOT", KindDetection: "JGRE", KindNote: "NOTE",
+		Kind(42): "KIND(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(k), got, want)
+		}
+	}
+}

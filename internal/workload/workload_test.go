@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/catalog"
+	"repro/internal/device"
+)
+
+func bootDev(t *testing.T, cfg device.Config) *device.Device {
+	t.Helper()
+	d, err := device.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAttackerPacingMatchesCatalog(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 1})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := atk.Target()
+
+	// Run 1,000 calls and extrapolate to full exhaustion: the projected
+	// duration must land near the catalogued AttackSeconds.
+	start := dev.Clock().Now()
+	for i := 0; i < 1000; i++ {
+		if atk.Due() > dev.Clock().Now() {
+			dev.Clock().Set(atk.Due())
+		}
+		if err := atk.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := dev.Clock().Now() - start
+	callsNeeded := (catalog.JGRThreshold - typicalBaseline) / refsPerCall
+	projected := elapsed / 1000 * time.Duration(callsNeeded)
+	want := time.Duration(iface.Cost.AttackSeconds) * time.Second
+	if projected < want*7/10 || projected > want*13/10 {
+		t.Fatalf("projected attack duration %v, want ≈%v", projected, want)
+	}
+}
+
+func TestAttackerGrantsObtainablePermission(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 1})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := NewAttacker(dev, evil, "telephony.registry.listenForSubscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atk.Step(); err != nil {
+		t.Fatalf("granted attacker failed: %v", err)
+	}
+	if !dev.Permissions().Check(evil.Uid(), "READ_PHONE_STATE") {
+		t.Fatal("dangerous permission not granted at attacker setup")
+	}
+}
+
+func TestAttackerUnknownInterface(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 1})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	if _, err := NewAttacker(dev, evil, "nope.nothing"); err == nil {
+		t.Fatal("unknown interface accepted")
+	}
+}
+
+func TestAttackerExhaustsSmallDevice(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 1, ServerVM: art.Config{MaxGlobalRefs: 2400}})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := NewAttacker(dev, evil, "clipboard.addPrimaryClipChangedListener")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(dev)
+	sched.Add(atk)
+	sched.Run(func() bool { return dev.SoftReboots() > 0 }, 100000)
+	if dev.SoftReboots() != 1 {
+		t.Fatal("attack did not reboot the small device")
+	}
+	if atk.Calls() == 0 {
+		t.Fatal("attacker made no calls")
+	}
+}
+
+func TestEnqueueToastAttackerSpoofs(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 1})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := NewAttacker(dev, evil, "notification.enqueueToast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := atk.Target()
+	// Push well past the per-package quota: the spoof keeps succeeding.
+	for i := 0; i < 3*spec.GuardLimit; i++ {
+		if err := atk.Step(); err != nil {
+			t.Fatalf("spoofed toast %d failed: %v", i, err)
+		}
+	}
+	if got := dev.Service("notification").EntryCount("enqueueToast"); got != 3*spec.GuardLimit {
+		t.Fatalf("toast entries = %d, want %d", got, 3*spec.GuardLimit)
+	}
+}
+
+func TestBenignAppsKeepSmallStableFootprint(t *testing.T) {
+	// Observation 1: benign per-service JGR is small and stable.
+	dev := bootDev(t, device.Config{Seed: 2})
+	sched := NewScheduler(dev)
+	apps, err := Population(dev, sched, 20, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dev.SystemServer().VM().GlobalRefCount()
+	sched.Run(func() bool { return dev.Clock().Now() > 2*time.Minute }, 100000)
+	grown := dev.SystemServer().VM().GlobalRefCount() - base
+	if grown > 500 {
+		t.Fatalf("benign population grew JGR table by %d; Observation 1 demands a small footprint", grown)
+	}
+	total := 0
+	for _, b := range apps {
+		total += b.Calls()
+	}
+	if total < 500 {
+		t.Fatalf("population only made %d calls in 2 virtual minutes", total)
+	}
+}
+
+func TestSchedulerOrdersActors(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 3})
+	sched := NewScheduler(dev)
+	app, _ := dev.Apps().Install("com.chatty.app")
+	c, err := NewChattyApp(dev, app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Add(c)
+	steps := sched.Run(nil, 50)
+	if steps != 50 {
+		t.Fatalf("steps = %d, want 50", steps)
+	}
+	if c.Calls() != 50 {
+		t.Fatalf("calls = %d, want 50", c.Calls())
+	}
+}
+
+func TestAppAttackerAgainstPrebuilt(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 4})
+	evil, _ := dev.Apps().Install("com.evil.app")
+	row := catalog.PrebuiltAppInterfaces()[0] // PicoService.setCallback()
+	atk, err := NewAppAttacker(dev, evil, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pico := dev.Apps().ByPackage("com.svox.pico")
+	base := pico.Proc().VM().GlobalRefCount()
+	for i := 0; i < 50; i++ {
+		if err := atk.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pico.Proc().VM().GlobalRefCount() - base; got < 50 {
+		t.Fatalf("pico JGR grew by %d, want ≥50", got)
+	}
+	if atk.Calls() != 50 {
+		t.Fatalf("calls = %d", atk.Calls())
+	}
+}
+
+func TestThinkTimeForSlowestInterface(t *testing.T) {
+	toast, _ := catalog.InterfaceByName("notification.enqueueToast")
+	routes, _ := catalog.InterfaceByName("audio.startWatchingRoutes")
+	if ThinkTimeFor(toast) <= ThinkTimeFor(routes) {
+		t.Fatal("slowest attack should have the longest think time")
+	}
+}
+
+func TestWellBehavedAppStaysWithinQuotas(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 8})
+	app, _ := dev.Apps().Install("com.goodcitizen.app")
+	app.Start()
+	w, err := NewWellBehavedApp(dev, app, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(dev)
+	sched.Add(w)
+	sched.Run(nil, 3000)
+	if w.Actions() != 3000 {
+		t.Fatalf("actions = %d", w.Actions())
+	}
+	// Every helper-guarded interface stayed within its limit on the
+	// service side.
+	for _, row := range catalog.Interfaces() {
+		if row.Protection != catalog.HelperGuard {
+			continue
+		}
+		if got := dev.Service(row.Service).EntryCount(row.Method); got > row.GuardLimit {
+			t.Errorf("%s: %d entries, limit %d", row.FullName(), got, row.GuardLimit)
+		}
+	}
+	// And the app's JGR footprint in system_server stays bounded
+	// (Observation 1 for the happy path).
+	total := 0
+	for _, row := range catalog.Interfaces() {
+		if row.Protection == catalog.HelperGuard {
+			total += dev.Service(row.Service).EntryCount(row.Method)
+		}
+	}
+	if total != w.Holdings() {
+		t.Fatalf("service entries %d != helper holdings %d", total, w.Holdings())
+	}
+}
