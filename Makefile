@@ -1,0 +1,31 @@
+# Build / test / CI entry points. `make ci` is the full gate: vet, the
+# tier-1 build+test flow, and the race detector over the concurrent
+# experiment engine and everything that runs on it.
+
+GO ?= go
+
+.PHONY: build test vet race bench bench-json ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel engine and its consumers must stay race-clean: the fan-out
+# pool, the converted experiment sweeps, and the pipeline's parallel
+# dynamic-verification stage.
+race:
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis
+
+# Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
+bench-json:
+	$(GO) run ./cmd/jgre-bench -bench-json BENCH_parallel.json
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+ci: vet build test race

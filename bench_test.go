@@ -12,6 +12,8 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -204,6 +206,34 @@ func BenchmarkFig3AttackCurves(b *testing.B) {
 		b.ReportMetric(curves[0].Duration.Seconds(), "fastest-s")
 		b.ReportMetric(curves[1].Duration.Seconds(), "slowest-s")
 		b.ReportMetric(float64(curves[1].Duration)/float64(curves[0].Duration), "ratio")
+	}
+}
+
+// BenchmarkParallelSpeedup measures the deterministic fan-out engine on
+// the full Fig. 3 sweep (all 54 interfaces, Quick scale): wall-clock at
+// workers=1 vs workers=GOMAXPROCS. On ≥4 cores the speedup metric should
+// be ≥2×; on a single core it degrades gracefully to ≈1×. Outputs are
+// byte-identical either way (see the parallel-equivalence tests).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := experiments.Fig3AttackCurvesContext(ctx, experiments.Quick, nil, 1); err != nil {
+			b.Fatal(err)
+		}
+		seq := time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := experiments.Fig3AttackCurvesContext(ctx, experiments.Quick, nil, workers); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0)
+
+		b.ReportMetric(seq.Seconds(), "sequential-s")
+		b.ReportMetric(par.Seconds(), "parallel-s")
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+		b.ReportMetric(float64(workers), "workers")
 	}
 }
 

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	jgre-analyze [-dynamic] [-thirdparty n] [-calls n] [-table 1..5] [-funnel]
+//	jgre-analyze [-dynamic] [-thirdparty n] [-calls n] [-parallel n] [-table 1..5] [-funnel]
 //
-// Without -table/-funnel flags everything is printed.
+// Without -table/-funnel flags everything is printed. Dynamic verification
+// fans out across -parallel workers (default: one per CPU), each candidate
+// on its own simulated device; the result is identical for any worker
+// count.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 )
@@ -25,6 +29,7 @@ func main() {
 	dynamic := flag.Bool("dynamic", true, "run dynamic verification against a simulated device")
 	thirdParty := flag.Int("thirdparty", 1000, "size of the synthetic Google Play population (0 disables Table V)")
 	calls := flag.Int("calls", 300, "invocations per candidate during dynamic verification")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "verification worker count (1 = sequential; results are identical)")
 	table := flag.Int("table", 0, "print only this table (1-5)")
 	funnelOnly := flag.Bool("funnel", false, "print only the pipeline funnel")
 	asJSON := flag.Bool("json", false, "emit the audit result as JSON")
@@ -54,6 +59,7 @@ func main() {
 		Dynamic:        *dynamic,
 		VerifyCalls:    *calls,
 		Seed:           1,
+		Workers:        *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

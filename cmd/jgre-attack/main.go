@@ -6,17 +6,23 @@
 //
 // Usage:
 //
-//	jgre-attack -fig 3 [-iface service.method] [-scale quick|full]
+//	jgre-attack -fig 3 [-iface service.method] [-scale quick|full] [-parallel n]
 //	jgre-attack -fig 5 [-scale quick|full]
-//	jgre-attack -fig 6 [-scale quick|full]
+//	jgre-attack -fig 6 [-scale quick|full] [-parallel n]
 //	jgre-attack -bypass
+//
+// The Fig. 3 and Fig. 6 sweeps fan out across -parallel workers (default:
+// one per CPU); every interface runs on its own simulated device, so the
+// output is identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -33,6 +39,7 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick (reduced JGR cap / fewer calls) or full (paper parameters)")
 	bypass := flag.Bool("bypass", false, "run the Table II/III protection-bypass demonstrations instead")
 	obs2 := flag.Bool("obs2", false, "measure Observation 2 (per-interface IPC→JGR Delay + Δ) instead")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -50,31 +57,40 @@ func main() {
 	}
 	switch *fig {
 	case 3:
-		runFig3(scale, *iface)
+		runFig3(scale, *iface, *workers)
 	case 5:
 		runFig5(scale)
 	case 6:
-		runFig6(scale)
+		runFig6(scale, *workers)
 	default:
 		log.Printf("unknown figure %d (want 3, 5 or 6)", *fig)
 		os.Exit(2)
 	}
 }
 
-func runFig3(scale experiments.Scale, iface string) {
+func runFig3(scale experiments.Scale, iface string, workers int) {
 	var only []string
 	if iface != "" {
 		only = []string{iface}
 	}
-	curves, err := experiments.Fig3AttackCurves(scale, only)
+	curves, err := experiments.Fig3AttackCurvesContext(context.Background(), scale, only, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sort.Slice(curves, func(i, j int) bool { return curves[i].Duration < curves[j].Duration })
 	fmt.Println("Fig. 3: JGR exhaustion time per vulnerable interface (victim table growth to the cap)")
 	fmt.Printf("%-55s %12s %10s\n", "INTERFACE", "DURATION", "CALLS")
+	aborted := 0
 	for _, c := range curves {
-		fmt.Printf("%-55s %12.1fs %10d\n", c.Interface, c.Duration.Seconds(), c.Calls)
+		note := ""
+		if c.Err != "" {
+			note = "  ABORTED: " + c.Err
+			aborted++
+		}
+		fmt.Printf("%-55s %12.1fs %10d%s\n", c.Interface, c.Duration.Seconds(), c.Calls, note)
+	}
+	if aborted > 0 {
+		fmt.Printf("\nWARNING: %d of %d attacks aborted on an IPC error before exhaustion\n", aborted, len(curves))
 	}
 	if len(curves) > 1 {
 		fmt.Printf("\nfastest %-45s %8.1fs\n", curves[0].Interface, curves[0].Duration.Seconds())
@@ -106,8 +122,8 @@ func runFig5(scale experiments.Scale) {
 	fmt.Printf("first call %v, last call %v\n", res.ExecTimes[0], res.ExecTimes[len(res.ExecTimes)-1])
 }
 
-func runFig6(scale experiments.Scale) {
-	res, err := experiments.Fig6LatencyCDF(scale)
+func runFig6(scale experiments.Scale, workers int) {
+	res, err := experiments.Fig6LatencyCDFContext(context.Background(), scale, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

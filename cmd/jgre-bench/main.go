@@ -1,0 +1,173 @@
+// Command jgre-bench times the parallel experiment engine. It runs each
+// converted sweep twice — sequentially (workers=1) and on the full worker
+// pool — verifies both produce identical output, and reports wall-clock
+// timings and speedup. -bench-json writes the measurements as JSON, the
+// format of the repository's BENCH_*.json performance trajectory.
+//
+// Usage:
+//
+//	jgre-bench [-parallel n] [-sweeps fig3,fig6,fig8,delays,thresholds]
+//	           [-scale quick|full] [-bench-json path]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// SweepTiming is one sweep's sequential-vs-parallel measurement.
+type SweepTiming struct {
+	Sweep       string  `json:"sweep"`
+	Shards      int     `json:"shards"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical_output"`
+}
+
+// Report is the jgre-bench JSON output.
+type Report struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	Workers       int           `json:"workers"`
+	Scale         string        `json:"scale"`
+	Sweeps        []SweepTiming `json:"sweeps"`
+	TotalSeqS     float64       `json:"total_sequential_s"`
+	TotalParS     float64       `json:"total_parallel_s"`
+	Speedup       float64       `json:"speedup"`
+}
+
+// sweep adapts one experiment to the timing harness: run returns the
+// result (for the output-identity check) and the shard count.
+type sweep struct {
+	name string
+	run  func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error)
+}
+
+var sweeps = []sweep{
+	{"fig3", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
+		curves, err := experiments.Fig3AttackCurvesContext(ctx, scale, nil, workers)
+		return curves, len(curves), err
+	}},
+	{"fig6", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
+		res, err := experiments.Fig6LatencyCDFContext(ctx, scale, workers)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, len(res.PerInterface), nil
+	}},
+	{"fig8", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
+		rows, err := experiments.Fig8SingleAttackerContext(ctx, scale, workers)
+		return rows, len(rows), err
+	}},
+	{"delays", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
+		rows, err := experiments.ResponseDelaysContext(ctx, scale, workers)
+		return rows, len(rows), err
+	}},
+	{"thresholds", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
+		rows, err := experiments.ThresholdAblationContext(ctx, workers)
+		return rows, len(rows), err
+	}},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-bench: ")
+
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the parallel leg")
+	names := flag.String("sweeps", "fig3,fig6,fig8,delays,thresholds", "comma-separated sweeps to time")
+	scaleName := flag.String("scale", "quick", "quick or full")
+	jsonPath := flag.String("bench-json", "", "write the report as JSON to this path ('-' or empty prints it)")
+	flag.Parse()
+
+	scale := experiments.Quick
+	if *scaleName == "full" {
+		scale = experiments.Full
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(*names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+
+	rep := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Workers:       *workers,
+		Scale:         *scaleName,
+	}
+	ctx := context.Background()
+	for _, sw := range sweeps {
+		if !want[sw.name] {
+			continue
+		}
+		t0 := time.Now()
+		seqOut, shards, err := sw.run(ctx, scale, 1)
+		if err != nil {
+			log.Fatalf("%s sequential: %v", sw.name, err)
+		}
+		seq := time.Since(t0)
+
+		t0 = time.Now()
+		parOut, _, err := sw.run(ctx, scale, *workers)
+		if err != nil {
+			log.Fatalf("%s parallel: %v", sw.name, err)
+		}
+		par := time.Since(t0)
+
+		st := SweepTiming{
+			Sweep:       sw.name,
+			Shards:      shards,
+			SequentialS: seq.Seconds(),
+			ParallelS:   par.Seconds(),
+			Speedup:     seq.Seconds() / par.Seconds(),
+			Identical:   identical(seqOut, parOut),
+		}
+		if !st.Identical {
+			log.Fatalf("%s: workers=1 and workers=%d outputs differ — determinism broken", sw.name, *workers)
+		}
+		rep.Sweeps = append(rep.Sweeps, st)
+		rep.TotalSeqS += st.SequentialS
+		rep.TotalParS += st.ParallelS
+		fmt.Printf("%-12s %3d shards   seq %8.3fs   par(%d) %8.3fs   speedup %.2fx\n",
+			sw.name, st.Shards, st.SequentialS, *workers, st.ParallelS, st.Speedup)
+	}
+	if len(rep.Sweeps) == 0 {
+		log.Fatalf("no sweeps selected (have: fig3, fig6, fig8, delays, thresholds)")
+	}
+	if rep.TotalParS > 0 {
+		rep.Speedup = rep.TotalSeqS / rep.TotalParS
+	}
+	fmt.Printf("%-12s              seq %8.3fs   par(%d) %8.3fs   speedup %.2fx\n",
+		"TOTAL", rep.TotalSeqS, *workers, rep.TotalParS, rep.Speedup)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if *jsonPath == "" || *jsonPath == "-" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *jsonPath)
+}
+
+// identical compares two sweep results structurally via their JSON
+// encoding — the same equality the equivalence tests assert.
+func identical(a, b any) bool {
+	ja, err1 := json.Marshal(a)
+	jb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(ja) == string(jb)
+}

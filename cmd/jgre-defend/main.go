@@ -5,15 +5,21 @@
 //
 // Usage:
 //
-//	jgre-defend -fig 8|9|10 [-scale quick|full]
-//	jgre-defend -delays [-scale quick|full]
+//	jgre-defend -fig 8|9|10 [-scale quick|full] [-parallel n]
+//	jgre-defend -delays [-scale quick|full] [-parallel n]
+//
+// The Fig. 8, -delays and -thresholds sweeps fan out across -parallel
+// workers (default: one per CPU); every measurement runs on its own
+// simulated device, so the output is identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,6 +37,7 @@ func main() {
 	limitations := flag.Bool("limitations", false, "run the §VI covert-channel limitation study instead")
 	patch := flag.Bool("patch", false, "run the §IV-B universal per-process-quota counterfactual instead")
 	scaleName := flag.String("scale", "quick", "quick or full")
+	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
 	flag.Parse()
 
 	scale := experiments.Quick
@@ -39,7 +46,7 @@ func main() {
 	}
 
 	if *delays {
-		runDelays(scale)
+		runDelays(scale, *workers)
 		return
 	}
 	if *multipath {
@@ -47,7 +54,7 @@ func main() {
 		return
 	}
 	if *thresholds {
-		runThresholds()
+		runThresholds(*workers)
 		return
 	}
 	if *limitations {
@@ -60,7 +67,7 @@ func main() {
 	}
 	switch *fig {
 	case 8:
-		runFig8(scale)
+		runFig8(scale, *workers)
 	case 9:
 		runFig9(scale)
 	case 10:
@@ -71,8 +78,8 @@ func main() {
 	}
 }
 
-func runFig8(scale experiments.Scale) {
-	rows, err := experiments.Fig8SingleAttacker(scale)
+func runFig8(scale experiments.Scale, workers int) {
+	rows, err := experiments.Fig8SingleAttackerContext(context.Background(), scale, workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,8 +157,8 @@ func runMultiPath(scale experiments.Scale) {
 	fmt.Println("→ path smearing does not evade Algorithm 1; classification recovers full per-path attribution")
 }
 
-func runThresholds() {
-	rows, err := experiments.ThresholdAblation()
+func runThresholds(workers int) {
+	rows, err := experiments.ThresholdAblationContext(context.Background(), workers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -197,8 +204,8 @@ func runPatch() {
 	fmt.Println("  colluders, because every service shares system_server's one JGR table (§IV-B)")
 }
 
-func runDelays(scale experiments.Scale) {
-	rows, err := experiments.ResponseDelays(scale)
+func runDelays(scale experiments.Scale, workers int) {
+	rows, err := experiments.ResponseDelaysContext(context.Background(), scale, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/code"
 	"repro/internal/device"
@@ -95,8 +97,14 @@ func RunStatic(p *code.Program, obtainable func(string) bool) *PipelineResult {
 // program, then dynamic verification of every kept candidate against the
 // device.
 func Run(p *code.Program, dev *device.Device, vcfg VerifyConfig) (*PipelineResult, error) {
+	return RunContext(context.Background(), p, dev, vcfg)
+}
+
+// RunContext is Run with cancellation; vcfg.Workers sizes the dynamic
+// stage's verification pool.
+func RunContext(ctx context.Context, p *code.Program, dev *device.Device, vcfg VerifyConfig) (*PipelineResult, error) {
 	res := RunStatic(p, nil)
-	verify, err := Verify(dev, res.Sift.Kept, vcfg)
+	verify, err := VerifyContext(ctx, dev, res.Sift.Kept, vcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/binder"
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/permissions"
 	"repro/internal/services"
 )
@@ -27,6 +29,11 @@ type VerifyConfig struct {
 	// them to IPC interfaces"). The enqueueToast entry reproduces the
 	// Code-Snippet 3 spoof. Nil selects DefaultPackageHints.
 	PackageHints map[string]string
+	// Workers sizes the verification worker pool (0 = one per CPU,
+	// 1 = sequential). Every candidate is tested on its own device booted
+	// from the template device's configuration, so the confirmed and
+	// rejected sets are independent of the worker count.
+	Workers int
 }
 
 // DefaultPackageHints is the manual parameter analysis the paper's
@@ -64,11 +71,19 @@ type VerifyResult struct {
 	Rejected  []Rejection
 }
 
-// Verify drives every kept candidate against the simulated device from a
+// Verify drives every kept candidate against a simulated device from a
 // fresh throw-away test app, watching the victim process's JGR table
 // through repeated invocations and GC cycles, and classifies candidates
-// whose table keeps growing as confirmed vulnerabilities.
+// whose table keeps growing as confirmed vulnerabilities. dev is the
+// template: each candidate runs on its own device booted from the same
+// configuration (same seed, same installed population), keeping every
+// per-method measurement independent of the others.
 func Verify(dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyResult, error) {
+	return VerifyContext(context.Background(), dev, kept, cfg)
+}
+
+// VerifyContext is Verify on a worker pool (cfg.Workers).
+func VerifyContext(ctx context.Context, dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyResult, error) {
 	if cfg.Calls == 0 {
 		cfg.Calls = 300
 	}
@@ -78,32 +93,43 @@ func Verify(dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyRe
 	if cfg.PackageHints == nil {
 		cfg.PackageHints = DefaultPackageHints
 	}
-	res := &VerifyResult{}
-	for i, rm := range kept {
+	bootCfg := dev.BootConfig()
+	type verdict struct {
+		finding *Finding
+		rej     *Rejection
+	}
+	verdicts, err := parallel.Map(ctx, kept, cfg.Workers, func(_ context.Context, i int, rm RiskyMethod) (verdict, error) {
 		if rm.IPC.Method == nil {
-			continue
+			return verdict{}, nil
 		}
-		var (
-			finding *Finding
-			rej     *Rejection
-			err     error
-		)
+		shard, err := device.Boot(bootCfg)
+		if err != nil {
+			return verdict{}, fmt.Errorf("analysis: booting verification device: %w", err)
+		}
+		var v verdict
 		switch rm.IPC.Source {
 		case SourceServiceManager:
-			finding, rej, err = verifySystem(dev, rm, i, cfg)
+			v.finding, v.rej, err = verifySystem(shard, rm, i, cfg)
 		case SourceBaseClass:
-			finding, rej, err = verifyApp(dev, rm, i, cfg)
+			v.finding, v.rej, err = verifyApp(shard, rm, i, cfg)
 		default:
-			return nil, fmt.Errorf("analysis: candidate %s has unknown source", rm.IPC.FullName())
+			return verdict{}, fmt.Errorf("analysis: candidate %s has unknown source", rm.IPC.FullName())
 		}
 		if err != nil {
-			return nil, err
+			return verdict{}, err
 		}
-		if finding != nil {
-			res.Confirmed = append(res.Confirmed, *finding)
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &VerifyResult{}
+	for _, v := range verdicts {
+		if v.finding != nil {
+			res.Confirmed = append(res.Confirmed, *v.finding)
 		}
-		if rej != nil {
-			res.Rejected = append(res.Rejected, *rej)
+		if v.rej != nil {
+			res.Rejected = append(res.Rejected, *v.rej)
 		}
 	}
 	sort.Slice(res.Confirmed, func(i, j int) bool { return res.Confirmed[i].FullName() < res.Confirmed[j].FullName() })

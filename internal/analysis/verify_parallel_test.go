@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestVerifyParallelEquivalence asserts the dynamic stage's core
+// guarantee: with every candidate verified on its own booted device, the
+// confirmed and rejected sets are byte-identical whether the pool runs one
+// worker or eight.
+func TestVerifyParallelEquivalence(t *testing.T) {
+	static := staticRun(t)
+	dev, err := device.Boot(device.Config{Seed: 3, InstallThirdPartyApps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		res, err := VerifyContext(context.Background(), dev, static.Sift.Kept,
+			VerifyConfig{Calls: 120, GCEvery: 30, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	seq, par := run(1), run(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("workers=1 and workers=8 verification differ\nseq: %.400s\npar: %.400s", seq, par)
+	}
+}

@@ -39,6 +39,9 @@ type AuditConfig struct {
 	VerifyCalls int
 	// Seed drives the device boot used for verification.
 	Seed int64
+	// Workers sizes the dynamic stage's verification pool (0 = one per
+	// CPU, 1 = sequential); the result is identical either way.
+	Workers int
 }
 
 // Audit runs the paper's analysis methodology end to end and returns the
@@ -55,7 +58,7 @@ func Audit(cfg AuditConfig) (*analysis.PipelineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Run(c.Program, dev, analysis.VerifyConfig{Calls: cfg.VerifyCalls})
+	return analysis.Run(c.Program, dev, analysis.VerifyConfig{Calls: cfg.VerifyCalls, Workers: cfg.Workers})
 }
 
 // ProtectedDevice bundles a booted device with its defender.

@@ -339,6 +339,11 @@ func (d *Device) restartSystem(reason string) {
 // Clock returns the device's virtual clock.
 func (d *Device) Clock() *simclock.Clock { return d.clock }
 
+// BootConfig returns the (defaults-resolved) configuration this device was
+// booted with. Boot(dev.BootConfig()) yields an identical fresh device —
+// the isolation primitive behind the parallel experiment engine.
+func (d *Device) BootConfig() Config { return d.cfg }
+
 // Journal returns the device's event journal (process lifecycle, LMK,
 // reboots; the defender adds detections when attached through
 // core.NewProtectedDevice).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -37,6 +39,13 @@ func (r ThresholdRow) Margin() int { return catalog.JGRThreshold - r.PeakJGR }
 // safety margin below the 51,200 abort line. The paper's 4,000/12,000
 // leaves ≈4/5 of the table as margin; this sweep quantifies the range.
 func ThresholdAblation() ([]ThresholdRow, error) {
+	return ThresholdAblationContext(context.Background(), 0)
+}
+
+// ThresholdAblationContext is ThresholdAblation on a worker pool; each
+// threshold pair already runs on its own device (seed 200+idx), so the
+// rows are identical for any worker count.
+func ThresholdAblationContext(ctx context.Context, workers int) ([]ThresholdRow, error) {
 	configs := []struct{ alarm, engage int }{
 		{1000, 3000},
 		{2000, 6000},
@@ -44,15 +53,13 @@ func ThresholdAblation() ([]ThresholdRow, error) {
 		{8000, 24000},
 		{13000, 40000},
 	}
-	var out []ThresholdRow
-	for i, c := range configs {
+	return parallel.Map(ctx, configs, workers, func(_ context.Context, i int, c struct{ alarm, engage int }) (ThresholdRow, error) {
 		row, err := thresholdOnce(i, c.alarm, c.engage)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: threshold %d/%d: %w", c.alarm, c.engage, err)
+			return ThresholdRow{}, fmt.Errorf("experiments: threshold %d/%d: %w", c.alarm, c.engage, err)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 func thresholdOnce(idx, alarm, engage int) (ThresholdRow, error) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/services"
 	"repro/internal/workload"
 )
@@ -41,20 +43,29 @@ type Fig8Row struct {
 // defender (Δ = 1.8 ms, §V-C), and compare suspicious-call counts.
 // Quick scale samples every 6th vulnerability with a 20-app population.
 func Fig8SingleAttacker(scale Scale) ([]Fig8Row, error) {
+	return Fig8SingleAttackerContext(context.Background(), scale, 0)
+}
+
+// Fig8SingleAttackerContext is Fig8SingleAttacker on a worker pool; each
+// vulnerability already runs on its own device (seed 50+idx), so the rows
+// are identical for any worker count.
+func Fig8SingleAttackerContext(ctx context.Context, scale Scale, workers int) ([]Fig8Row, error) {
 	rows := catalog.ExploitableInterfaces()
 	stride, population := 6, 20
 	if scale == Full {
 		stride, population = 1, 100
 	}
-	var out []Fig8Row
+	var picks []int
 	for i := 0; i < len(rows); i += stride {
+		picks = append(picks, i)
+	}
+	return parallel.Map(ctx, picks, workers, func(_ context.Context, _ int, i int) (Fig8Row, error) {
 		row, err := fig8Once(scale, i, rows[i], population)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig8 %s: %w", rows[i].FullName(), err)
+			return Fig8Row{}, fmt.Errorf("experiments: fig8 %s: %w", rows[i].FullName(), err)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 func fig8Once(scale Scale, idx int, iface catalog.Interface, population int) (Fig8Row, error) {
@@ -215,6 +226,13 @@ type DelayRow struct {
 // Quick scale samples every 6th system interface but always includes the
 // paper's named outlier, midi.registerDeviceServer.
 func ResponseDelays(scale Scale) ([]DelayRow, error) {
+	return ResponseDelaysContext(context.Background(), scale, 0)
+}
+
+// ResponseDelaysContext is ResponseDelays on a worker pool; every
+// measurement already boots its own device (seeds 70+idx / 80+idx), so the
+// rows are identical for any worker count.
+func ResponseDelaysContext(ctx context.Context, scale Scale, workers int) ([]DelayRow, error) {
 	rows := catalog.ExploitableInterfaces()
 	stride := 6
 	if scale == Full {
@@ -231,23 +249,35 @@ func ResponseDelays(scale Scale) ([]DelayRow, error) {
 			picks = append(picks, row)
 		}
 	}
-	var out []DelayRow
+	// One shard per measurement: the system-service picks followed by the
+	// prebuilt-app victims, in canonical order.
+	type delayShard struct {
+		idx   int
+		iface catalog.Interface    // system-service victim when app == nil
+		app   *catalog.AppInterface // prebuilt-app victim
+	}
+	var shards []delayShard
 	for i, iface := range picks {
-		dr, err := delayOnce(scale, i, iface)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: delay %s: %w", iface.FullName(), err)
-		}
-		out = append(out, dr)
+		shards = append(shards, delayShard{idx: i, iface: iface})
 	}
-	// Prebuilt-app victims.
 	for i, row := range catalog.PrebuiltAppInterfaces() {
-		dr, err := appDelayOnce(scale, i, row)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: delay %s: %w", row.FullName(), err)
-		}
-		out = append(out, dr)
+		r := row
+		shards = append(shards, delayShard{idx: i, app: &r})
 	}
-	return out, nil
+	return parallel.Map(ctx, shards, workers, func(_ context.Context, _ int, s delayShard) (DelayRow, error) {
+		if s.app != nil {
+			dr, err := appDelayOnce(scale, s.idx, *s.app)
+			if err != nil {
+				return DelayRow{}, fmt.Errorf("experiments: delay %s: %w", s.app.FullName(), err)
+			}
+			return dr, nil
+		}
+		dr, err := delayOnce(scale, s.idx, s.iface)
+		if err != nil {
+			return DelayRow{}, fmt.Errorf("experiments: delay %s: %w", s.iface.FullName(), err)
+		}
+		return dr, nil
+	})
 }
 
 func delayOnce(scale Scale, idx int, iface catalog.Interface) (DelayRow, error) {

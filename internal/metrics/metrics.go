@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -143,6 +144,22 @@ func NewCDF(values []float64) *CDF {
 	s := append([]float64(nil), values...)
 	sort.Float64s(s)
 	return &CDF{sorted: s}
+}
+
+// MarshalJSON emits the full sorted sample, so two CDFs encode equal JSON
+// exactly when they hold the same distribution (the parallel-equivalence
+// tests and jgre-bench compare results this way).
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.sorted)
+}
+
+// UnmarshalJSON restores a CDF marshalled by MarshalJSON.
+func (c *CDF) UnmarshalJSON(b []byte) error {
+	if err := json.Unmarshal(b, &c.sorted); err != nil {
+		return err
+	}
+	sort.Float64s(c.sorted)
+	return nil
 }
 
 // At returns P(X <= x).

@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 8, 200} {
+		got, err := Map(context.Background(), items, workers, func(_ context.Context, idx int, item int) (int, error) {
+			if idx != item {
+				t.Errorf("workers=%d: idx %d paired with item %d", workers, idx, item)
+			}
+			// Stagger completion so later shards finish before earlier ones.
+			if idx%2 == 0 {
+				time.Sleep(time.Duration(idx%5) * time.Millisecond)
+			}
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	got, err := Map(context.Background(), nil, 4, func(context.Context, int, int) (int, error) {
+		t.Fatal("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), []int{0, 1, 2, 3}, workers, func(_ context.Context, idx int, _ int) (int, error) {
+			if idx == 2 {
+				panic("shard exploded")
+			}
+			return 0, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 2 || pe.Value != "shard exploded" {
+			t.Errorf("workers=%d: PanicError = index %d value %v", workers, pe.Index, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "shard 2 panicked") || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: error lacks context: %v", workers, pe)
+		}
+	}
+}
+
+func TestMapFailFast(t *testing.T) {
+	shardErr := errors.New("shard 0 failed")
+	var started atomic.Int64
+	_, err := Map(context.Background(), make([]int, 1000), 2, func(ctx context.Context, idx int, _ int) (int, error) {
+		started.Add(1)
+		if idx == 0 {
+			return 0, shardErr
+		}
+		// Give the cancellation a moment to propagate so unstarted shards
+		// are actually skipped.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, shardErr) {
+		t.Fatalf("err = %v, want %v", err, shardErr)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("every shard ran despite fail-fast cancellation")
+	}
+}
+
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	shardErr := errors.New("boom")
+	ran := 0
+	_, err := Map(context.Background(), make([]int, 10), 1, func(_ context.Context, idx int, _ int) (int, error) {
+		ran++
+		if idx == 3 {
+			return 0, shardErr
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, shardErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Errorf("ran %d shards, want 4", ran)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := Map(ctx, make([]int, 1000), workers, func(ctx context.Context, idx int, _ int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return 0, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 1000 {
+			t.Errorf("workers=%d: every shard ran despite cancellation", workers)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
