@@ -16,10 +16,10 @@ vet:
 	$(GO) vet ./...
 
 # The parallel engine and its consumers must stay race-clean: the fan-out
-# pool, the converted experiment sweeps, and the pipeline's parallel
-# dynamic-verification stage.
+# pool, the converted experiment sweeps, the pipeline's parallel
+# dynamic-verification stage, and the scenario registry that drives them.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:

@@ -32,7 +32,7 @@ import (
 // in 32 services, 22 of them permission-free, plus Tables IV/V findings.
 func BenchmarkPipelineFunnel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Headline(experiments.Quick)
+		res, err := experiments.Headline(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkPipelineFunnel(b *testing.B) {
 // BenchmarkNativePathSearch regenerates the §III-B1 numbers: 147 native
 // paths into IndirectReferenceTable::Add, 67 init-only.
 func BenchmarkNativePathSearch(b *testing.B) {
-	res, err := experiments.Headline(experiments.Quick)
+	res, err := experiments.Headline(context.Background(), experiments.Quick, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func BenchmarkTableI(b *testing.B) { benchTableRows(b, catalog.Unprotected, 44) 
 // verifies each is bypassable by direct binder access.
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ProtectedBypass()
+		rows, err := experiments.ProtectedBypass(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +109,7 @@ func BenchmarkTableII(b *testing.B) {
 // interfaces; only enqueueToast falls to the package spoof).
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ProtectedBypass()
+		rows, err := experiments.ProtectedBypass(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +137,7 @@ func BenchmarkTableIV(b *testing.B) {
 		b.Fatalf("Table IV rows = %d", len(rows))
 	}
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Headline(experiments.Quick)
+		res, err := experiments.Headline(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func shortName(m string) string {
 // vulnerable.
 func BenchmarkTableV(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Headline(experiments.Quick)
+		res, err := experiments.Headline(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -199,7 +199,7 @@ func BenchmarkTableV(b *testing.B) {
 func BenchmarkFig3AttackCurves(b *testing.B) {
 	ifaces := []string{"audio.startWatchingRoutes", "notification.enqueueToast"}
 	for i := 0; i < b.N; i++ {
-		curves, err := experiments.Fig3AttackCurves(experiments.Quick, ifaces)
+		curves, err := experiments.Fig3AttackCurves(context.Background(), experiments.Quick, ifaces, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -219,13 +219,13 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	workers := runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
 		t0 := time.Now()
-		if _, err := experiments.Fig3AttackCurvesContext(ctx, experiments.Quick, nil, 1); err != nil {
+		if _, err := experiments.Fig3AttackCurves(ctx, experiments.Quick, nil, 1); err != nil {
 			b.Fatal(err)
 		}
 		seq := time.Since(t0)
 
 		t0 = time.Now()
-		if _, err := experiments.Fig3AttackCurvesContext(ctx, experiments.Quick, nil, workers); err != nil {
+		if _, err := experiments.Fig3AttackCurves(ctx, experiments.Quick, nil, workers); err != nil {
 			b.Fatal(err)
 		}
 		par := time.Since(t0)
@@ -270,7 +270,7 @@ func BenchmarkFig5ExecutionGrowth(b *testing.B) {
 // every vulnerable interface; reports the widest per-interface spread (Δ).
 func BenchmarkFig6LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6LatencyCDF(experiments.Quick)
+		res, err := experiments.Fig6LatencyCDF(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -292,7 +292,7 @@ func BenchmarkFig6LatencyCDF(b *testing.B) {
 // suspicious-call count vs. the top benign app's, per vulnerability.
 func BenchmarkFig8SingleAttacker(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig8SingleAttacker(experiments.Quick)
+		rows, err := experiments.Fig8SingleAttacker(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -315,7 +315,7 @@ func BenchmarkFig8SingleAttacker(b *testing.B) {
 // benign app across the three Δ values.
 func BenchmarkFig9Colluders(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9Colluders(experiments.Quick)
+		res, err := experiments.Fig9Colluders(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,7 +362,7 @@ func BenchmarkFig10IPCOverhead(b *testing.B) {
 // identification delays, including the midi.registerDeviceServer outlier.
 func BenchmarkResponseDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ResponseDelays(experiments.Quick)
+		rows, err := experiments.ResponseDelays(context.Background(), experiments.Quick, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -507,7 +507,7 @@ func BenchmarkMultiPathStudy(b *testing.B) {
 // (design-choice ablation; the paper ships 4,000/12,000).
 func BenchmarkThresholdAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ThresholdAblation()
+		rows, err := experiments.ThresholdAblation(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -522,11 +522,11 @@ func BenchmarkThresholdAblation(b *testing.B) {
 // IPC→JGR delay deviations.
 func BenchmarkObservation2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, meanDelta, err := experiments.Observation2(experiments.Quick)
+		res, err := experiments.Observation2(experiments.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(meanDelta.Microseconds()), "mean-delta-us")
+		b.ReportMetric(float64(res.MeanDelta.Microseconds()), "mean-delta-us")
 	}
 }
 
@@ -534,7 +534,7 @@ func BenchmarkObservation2(b *testing.B) {
 // per-process quotas vs. usability and collusion.
 func BenchmarkPatchStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PatchStudy()
+		rows, err := experiments.PatchStudy(context.Background(), 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,13 +6,18 @@
 //
 //	jgre-analyze [-dynamic] [-thirdparty n] [-calls n] [-parallel n] [-table 1..5] [-funnel]
 //
-// Without -table/-funnel flags everything is printed. Dynamic verification
-// fans out across -parallel workers (default: one per CPU), each candidate
-// on its own simulated device; the result is identical for any worker
-// count.
+// Without -table/-funnel flags everything is printed. The -table arms
+// dispatch through the scenario registry (scenarios table-i … table-v);
+// the audit itself keeps its pipeline-specific -thirdparty/-calls knobs
+// and calls core.Audit directly (the registry's headline and
+// audit-static scenarios cover the uniform path). Dynamic verification
+// fans out across -parallel workers (default: one per CPU), each
+// candidate on its own simulated device; the result is identical for any
+// worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +25,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -36,21 +42,17 @@ func main() {
 	flag.Parse()
 
 	if *table != 0 {
-		switch *table {
-		case 1:
-			fmt.Print(core.FormatTableI())
-		case 2:
-			fmt.Print(core.FormatTableII())
-		case 3:
-			fmt.Print(core.FormatTableIII())
-		case 4:
-			fmt.Print(core.FormatTableIV())
-		case 5:
-			fmt.Print(core.FormatTableV())
-		default:
+		names := map[int]string{1: "table-i", 2: "table-ii", 3: "table-iii", 4: "table-iv", 5: "table-v"}
+		name, ok := names[*table]
+		if !ok {
 			log.Printf("unknown table %d (want 1-5)", *table)
 			os.Exit(2)
 		}
+		env, err := scenario.Execute(context.Background(), name, scenario.Params{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(env.Result.(string))
 		return
 	}
 

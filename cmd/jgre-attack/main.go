@@ -2,18 +2,22 @@
 // (JGR growth of the victim under attack, per interface), Fig. 5 (the
 // execution-time growth of telephony.registry.listenForSubscriber) and
 // Fig. 6 (per-interface execution-time CDFs), plus the Table II/III
-// bypass demonstrations.
+// bypass demonstrations and the Observation 2 delay measurement. It is a
+// thin dispatcher over the scenario registry (scenarios fig3, fig5,
+// fig6, bypass, obs2 — see jgre-run list).
 //
 // Usage:
 //
-//	jgre-attack -fig 3 [-iface service.method] [-scale quick|full] [-parallel n]
-//	jgre-attack -fig 5 [-scale quick|full]
-//	jgre-attack -fig 6 [-scale quick|full] [-parallel n]
-//	jgre-attack -bypass
+//	jgre-attack -fig 3 [-iface service.method] [-scale quick|full] [-parallel n] [-json]
+//	jgre-attack -fig 5 [-scale quick|full] [-json]
+//	jgre-attack -fig 6 [-scale quick|full] [-parallel n] [-json]
+//	jgre-attack -bypass [-parallel n] [-json]
+//	jgre-attack -obs2 [-scale quick|full] [-json]
 //
-// The Fig. 3 and Fig. 6 sweeps fan out across -parallel workers (default:
-// one per CPU); every interface runs on its own simulated device, so the
-// output is identical for any worker count.
+// The Fig. 3, Fig. 6 and bypass sweeps fan out across -parallel workers
+// (default: one per CPU); every interface runs on its own simulated
+// device, so the output is identical for any worker count. -json emits
+// the shared scenario result envelope instead of the rendered report.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -40,43 +45,64 @@ func main() {
 	bypass := flag.Bool("bypass", false, "run the Table II/III protection-bypass demonstrations instead")
 	obs2 := flag.Bool("obs2", false, "measure Observation 2 (per-interface IPC→JGR Delay + Δ) instead")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
+	asJSON := flag.Bool("json", false, "emit the shared scenario result envelope as JSON")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
+	scale, err := scenario.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
+	p := scenario.Params{Scale: scale, Workers: *workers}
 
-	if *bypass {
-		runBypass()
-		return
-	}
-	if *obs2 {
-		runObs2(scale)
-		return
-	}
-	switch *fig {
-	case 3:
-		runFig3(scale, *iface, *workers)
-	case 5:
-		runFig5(scale)
-	case 6:
-		runFig6(scale, *workers)
+	name := ""
+	switch {
+	case *bypass:
+		name = "bypass"
+	case *obs2:
+		name = "obs2"
+	case *fig == 3:
+		name = "fig3"
+		if *iface != "" {
+			p.Filter = []string{*iface}
+		}
+	case *fig == 5:
+		name = "fig5"
+	case *fig == 6:
+		name = "fig6"
 	default:
 		log.Printf("unknown figure %d (want 3, 5 or 6)", *fig)
 		os.Exit(2)
 	}
-}
 
-func runFig3(scale experiments.Scale, iface string, workers int) {
-	var only []string
-	if iface != "" {
-		only = []string{iface}
-	}
-	curves, err := experiments.Fig3AttackCurvesContext(context.Background(), scale, only, workers)
+	env, err := scenario.Execute(context.Background(), name, p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *asJSON {
+		out, err := env.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	switch res := env.Result.(type) {
+	case []experiments.AttackCurve:
+		renderFig3(res)
+	case *experiments.Fig5Result:
+		renderFig5(res)
+	case *experiments.Fig6Result:
+		renderFig6(res)
+	case *experiments.Obs2Result:
+		renderObs2(res)
+	case []experiments.BypassRow:
+		renderBypass(res)
+	default:
+		log.Fatalf("scenario %s returned unexpected %T", name, env.Result)
+	}
+}
+
+func renderFig3(curves []experiments.AttackCurve) {
 	sort.Slice(curves, func(i, j int) bool { return curves[i].Duration < curves[j].Duration })
 	fmt.Println("Fig. 3: JGR exhaustion time per vulnerable interface (victim table growth to the cap)")
 	fmt.Printf("%-55s %12s %10s\n", "INTERFACE", "DURATION", "CALLS")
@@ -105,11 +131,7 @@ func runFig3(scale experiments.Scale, iface string, workers int) {
 	}
 }
 
-func runFig5(scale experiments.Scale) {
-	res, err := experiments.Fig5ExecutionGrowth(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderFig5(res *experiments.Fig5Result) {
 	fmt.Printf("Fig. 5: execution time of telephony.registry.listenForSubscriber over %d calls\n", res.Calls)
 	fmt.Println("# call_index\texec_us")
 	step := res.Calls / 100
@@ -122,11 +144,7 @@ func runFig5(scale experiments.Scale) {
 	fmt.Printf("first call %v, last call %v\n", res.ExecTimes[0], res.ExecTimes[len(res.ExecTimes)-1])
 }
 
-func runFig6(scale experiments.Scale, workers int) {
-	res, err := experiments.Fig6LatencyCDFContext(context.Background(), scale, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderFig6(res *experiments.Fig6Result) {
 	fmt.Printf("Fig. 6: execution-time distributions over %d calls per vulnerable interface\n", res.CallsPer)
 	fmt.Printf("%-55s %8s %8s %8s %8s\n", "INTERFACE", "MIN_us", "P50_us", "P90_us", "MAX_us")
 	names := make([]string, 0, len(res.PerInterface))
@@ -140,11 +158,8 @@ func runFig6(scale experiments.Scale, workers int) {
 	}
 }
 
-func runObs2(scale experiments.Scale) {
-	rows, meanDelta, err := experiments.Observation2(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderObs2(res *experiments.Obs2Result) {
+	rows := append([]experiments.Obs2Row(nil), res.Rows...)
 	fmt.Println("Observation 2: per-interface IPC→JGR delay = Delay + Δ (paper §V)")
 	fmt.Printf("%-55s %10s %10s %10s\n", "INTERFACE", "DELAY_us", "DELTA_us", "P90_us")
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Interface < rows[j].Interface })
@@ -152,14 +167,11 @@ func runObs2(scale experiments.Scale) {
 		fmt.Printf("%-55s %10d %10d %10d\n", r.Interface,
 			r.Delay.Microseconds(), r.Delta.Microseconds(), r.P90.Microseconds())
 	}
-	fmt.Printf("\nfleet-wide mean Δ = %v (the paper derives 1.8 ms and uses it as the default)\n", meanDelta.Round(time.Microsecond))
+	fmt.Printf("\nfleet-wide mean Δ = %v (the paper derives 1.8 ms and uses it as the default)\n",
+		res.MeanDelta.Round(time.Microsecond))
 }
 
-func runBypass() {
-	rows, err := experiments.ProtectedBypass()
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderBypass(rows []experiments.BypassRow) {
 	fmt.Println("Protection bypass study (§IV-B/IV-C): helper guards vs. direct binder access")
 	fmt.Printf("%-50s %-18s %-15s %s\n", "INTERFACE", "PROTECTION", "HELPER BOUNDED", "DIRECT PATH")
 	still := 0

@@ -1,19 +1,26 @@
 // Command jgre-baseline reproduces Fig. 4 and Observation 1: cycle the
 // Google-Play top-app population through foreground sessions and sample
-// system_server's JGR table size and the running-process count.
+// system_server's JGR table size and the running-process count. It is a
+// thin dispatcher over the scenario registry (scenario fig4).
 //
 // Usage:
 //
-//	jgre-baseline [-scale quick|full]
+//	jgre-baseline [-scale quick|full] [-json]
+//
+// -json emits the shared scenario result envelope instead of the
+// rendered report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -21,15 +28,28 @@ func main() {
 	log.SetPrefix("jgre-baseline: ")
 
 	scaleName := flag.String("scale", "quick", "quick (1 round × 30 apps) or full (3 rounds × 100 apps)")
+	asJSON := flag.Bool("json", false, "emit the shared scenario result envelope as JSON")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
-	}
-	res, err := experiments.Fig4BenignBaseline(scale)
+	scale, err := scenario.ParseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	env, err := scenario.Execute(context.Background(), "fig4", scenario.Params{Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		out, err := env.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	res, ok := env.Result.(*experiments.Fig4Result)
+	if !ok {
+		log.Fatalf("scenario fig4 returned unexpected %T", env.Result)
 	}
 	fmt.Println("Fig. 4: system_server JGR table size and running processes under the benign top-app workload")
 	fmt.Println("# t_seconds\tjgr_size\tprocesses")

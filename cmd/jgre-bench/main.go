@@ -1,16 +1,22 @@
 // Command jgre-bench times the parallel experiment engine. It runs each
-// converted sweep twice — sequentially (workers=1) and on the full worker
-// pool — verifies both produce identical output, and reports wall-clock
-// timings and speedup. -bench-json writes the measurements as JSON, the
-// format of the repository's BENCH_*.json performance trajectory.
+// parallelizable scenario from the registry twice — sequentially
+// (workers=1) and on the full worker pool — verifies both produce
+// identical canonical envelopes, and reports wall-clock timings and
+// speedup. The sweep list is scenario.List() filtered to Parallelizable;
+// nothing here is hand-maintained. -bench-json writes the measurements
+// as JSON, the format of the repository's BENCH_*.json performance
+// trajectory.
 //
 // Usage:
 //
-//	jgre-bench [-parallel n] [-sweeps fig3,fig6,fig8,delays,thresholds]
-//	           [-scale quick|full] [-bench-json path]
+//	jgre-bench [-parallel n] [-sweeps fig3,fig6,...] [-scale quick|full]
+//	           [-bench-json path]
+//
+// -sweeps defaults to every parallelizable scenario (see jgre-run list).
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -21,7 +27,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // SweepTiming is one sweep's sequential-vs-parallel measurement.
@@ -46,102 +52,80 @@ type Report struct {
 	Speedup       float64       `json:"speedup"`
 }
 
-// sweep adapts one experiment to the timing harness: run returns the
-// result (for the output-identity check) and the shard count.
-type sweep struct {
-	name string
-	run  func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error)
-}
-
-var sweeps = []sweep{
-	{"fig3", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
-		curves, err := experiments.Fig3AttackCurvesContext(ctx, scale, nil, workers)
-		return curves, len(curves), err
-	}},
-	{"fig6", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
-		res, err := experiments.Fig6LatencyCDFContext(ctx, scale, workers)
-		if err != nil {
-			return nil, 0, err
-		}
-		return res, len(res.PerInterface), nil
-	}},
-	{"fig8", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
-		rows, err := experiments.Fig8SingleAttackerContext(ctx, scale, workers)
-		return rows, len(rows), err
-	}},
-	{"delays", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
-		rows, err := experiments.ResponseDelaysContext(ctx, scale, workers)
-		return rows, len(rows), err
-	}},
-	{"thresholds", func(ctx context.Context, scale experiments.Scale, workers int) (any, int, error) {
-		rows, err := experiments.ThresholdAblationContext(ctx, workers)
-		return rows, len(rows), err
-	}},
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jgre-bench: ")
 
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for the parallel leg")
-	names := flag.String("sweeps", "fig3,fig6,fig8,delays,thresholds", "comma-separated sweeps to time")
+	names := flag.String("sweeps", "", "comma-separated scenarios to time (default: every parallelizable one)")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	jsonPath := flag.String("bench-json", "", "write the report as JSON to this path ('-' or empty prints it)")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
+	scale, err := scenario.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	want := make(map[string]bool)
-	for _, n := range strings.Split(*names, ",") {
-		want[strings.TrimSpace(n)] = true
+	if *names != "" {
+		for _, n := range strings.Split(*names, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
 	}
 
+	var available []string
 	rep := Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		Workers:       *workers,
-		Scale:         *scaleName,
+		Scale:         scale.String(),
 	}
 	ctx := context.Background()
-	for _, sw := range sweeps {
-		if !want[sw.name] {
+	for _, sc := range scenario.List() {
+		if !sc.Parallelizable {
 			continue
 		}
-		t0 := time.Now()
-		seqOut, shards, err := sw.run(ctx, scale, 1)
-		if err != nil {
-			log.Fatalf("%s sequential: %v", sw.name, err)
+		available = append(available, sc.Name)
+		if len(want) > 0 && !want[sc.Name] {
+			continue
 		}
-		seq := time.Since(t0)
-
-		t0 = time.Now()
-		parOut, _, err := sw.run(ctx, scale, *workers)
-		if err != nil {
-			log.Fatalf("%s parallel: %v", sw.name, err)
+		run := func(w int) (*scenario.Envelope, time.Duration, error) {
+			t0 := time.Now()
+			env, err := sc.Execute(ctx, scenario.Params{Scale: scale, Workers: w})
+			return env, time.Since(t0), err
 		}
-		par := time.Since(t0)
+		seqEnv, seq, err := run(1)
+		if err != nil {
+			log.Fatalf("%s sequential: %v", sc.Name, err)
+		}
+		parEnv, par, err := run(*workers)
+		if err != nil {
+			log.Fatalf("%s parallel: %v", sc.Name, err)
+		}
 
+		shards := 0
+		if sc.Shards != nil {
+			shards = sc.Shards(seqEnv.Result)
+		}
 		st := SweepTiming{
-			Sweep:       sw.name,
+			Sweep:       sc.Name,
 			Shards:      shards,
 			SequentialS: seq.Seconds(),
 			ParallelS:   par.Seconds(),
 			Speedup:     seq.Seconds() / par.Seconds(),
-			Identical:   identical(seqOut, parOut),
+			Identical:   identical(seqEnv, parEnv),
 		}
 		if !st.Identical {
-			log.Fatalf("%s: workers=1 and workers=%d outputs differ — determinism broken", sw.name, *workers)
+			log.Fatalf("%s: workers=1 and workers=%d outputs differ — determinism broken", sc.Name, *workers)
 		}
 		rep.Sweeps = append(rep.Sweeps, st)
 		rep.TotalSeqS += st.SequentialS
 		rep.TotalParS += st.ParallelS
 		fmt.Printf("%-12s %3d shards   seq %8.3fs   par(%d) %8.3fs   speedup %.2fx\n",
-			sw.name, st.Shards, st.SequentialS, *workers, st.ParallelS, st.Speedup)
+			sc.Name, st.Shards, st.SequentialS, *workers, st.ParallelS, st.Speedup)
 	}
 	if len(rep.Sweeps) == 0 {
-		log.Fatalf("no sweeps selected (have: fig3, fig6, fig8, delays, thresholds)")
+		log.Fatalf("no sweeps selected (have: %s)", strings.Join(available, ", "))
 	}
 	if rep.TotalParS > 0 {
 		rep.Speedup = rep.TotalSeqS / rep.TotalParS
@@ -164,10 +148,11 @@ func main() {
 	fmt.Printf("wrote %s\n", *jsonPath)
 }
 
-// identical compares two sweep results structurally via their JSON
-// encoding — the same equality the equivalence tests assert.
-func identical(a, b any) bool {
-	ja, err1 := json.Marshal(a)
-	jb, err2 := json.Marshal(b)
-	return err1 == nil && err2 == nil && string(ja) == string(jb)
+// identical compares the two legs' canonical envelopes — the same
+// equality the registry equivalence tests assert (wall time and worker
+// count, which legitimately differ, are zeroed).
+func identical(a, b *scenario.Envelope) bool {
+	ja, err1 := a.CanonicalJSON()
+	jb, err2 := b.CanonicalJSON()
+	return err1 == nil && err2 == nil && bytes.Equal(ja, jb)
 }

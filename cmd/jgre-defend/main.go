@@ -1,16 +1,26 @@
 // Command jgre-defend reproduces the defense evaluation: Fig. 8 (single
 // malicious app vs. top benign app, per vulnerability), Fig. 9 (the
 // colluding-apps Δ sweep), Fig. 10 (IPC latency overhead of the defense),
-// and the §V-D1 response-delay study.
+// the §V-D1 response-delay study, the §VI multi-path and covert-channel
+// studies, the alarm/engage threshold ablation and the §IV-B universal
+// per-process-quota counterfactual. It is a thin dispatcher over the
+// scenario registry (scenarios fig8, fig9, fig10, delays, multipath,
+// thresholds, limitations, patch — see jgre-run list).
 //
 // Usage:
 //
-//	jgre-defend -fig 8|9|10 [-scale quick|full] [-parallel n]
-//	jgre-defend -delays [-scale quick|full] [-parallel n]
+//	jgre-defend -fig 8|9|10 [-scale quick|full] [-parallel n] [-json]
+//	jgre-defend -delays [-scale quick|full] [-parallel n] [-json]
+//	jgre-defend -multipath [-scale quick|full] [-json]
+//	jgre-defend -thresholds [-parallel n] [-json]
+//	jgre-defend -limitations [-scale quick|full] [-json]
+//	jgre-defend -patch [-parallel n] [-json]
 //
-// The Fig. 8, -delays and -thresholds sweeps fan out across -parallel
-// workers (default: one per CPU); every measurement runs on its own
-// simulated device, so the output is identical for any worker count.
+// The Fig. 8, Fig. 9, -delays, -thresholds and -patch sweeps fan out
+// across -parallel workers (default: one per CPU); every measurement
+// runs on its own simulated device, so the output is identical for any
+// worker count. -json emits the shared scenario result envelope instead
+// of the rendered report.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -38,51 +49,73 @@ func main() {
 	patch := flag.Bool("patch", false, "run the §IV-B universal per-process-quota counterfactual instead")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
+	asJSON := flag.Bool("json", false, "emit the shared scenario result envelope as JSON")
 	flag.Parse()
 
-	scale := experiments.Quick
-	if *scaleName == "full" {
-		scale = experiments.Full
+	scale, err := scenario.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
 	}
+	p := scenario.Params{Scale: scale, Workers: *workers}
 
-	if *delays {
-		runDelays(scale, *workers)
-		return
-	}
-	if *multipath {
-		runMultiPath(scale)
-		return
-	}
-	if *thresholds {
-		runThresholds(*workers)
-		return
-	}
-	if *limitations {
-		runLimitations(scale)
-		return
-	}
-	if *patch {
-		runPatch()
-		return
-	}
-	switch *fig {
-	case 8:
-		runFig8(scale, *workers)
-	case 9:
-		runFig9(scale)
-	case 10:
-		runFig10(scale)
+	name := ""
+	switch {
+	case *delays:
+		name = "delays"
+	case *multipath:
+		name = "multipath"
+	case *thresholds:
+		name = "thresholds"
+	case *limitations:
+		name = "limitations"
+	case *patch:
+		name = "patch"
+	case *fig == 8:
+		name = "fig8"
+	case *fig == 9:
+		name = "fig9"
+	case *fig == 10:
+		name = "fig10"
 	default:
 		log.Printf("unknown figure %d (want 8, 9 or 10)", *fig)
 		os.Exit(2)
 	}
-}
 
-func runFig8(scale experiments.Scale, workers int) {
-	rows, err := experiments.Fig8SingleAttackerContext(context.Background(), scale, workers)
+	env, err := scenario.Execute(context.Background(), name, p)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *asJSON {
+		out, err := env.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	switch res := env.Result.(type) {
+	case []experiments.Fig8Row:
+		renderFig8(res)
+	case *experiments.Fig9Result:
+		renderFig9(res)
+	case *experiments.Fig10Result:
+		renderFig10(res)
+	case []experiments.DelayRow:
+		renderDelays(res)
+	case *experiments.MultiPathResult:
+		renderMultiPath(res)
+	case []experiments.ThresholdRow:
+		renderThresholds(res)
+	case *experiments.LimitationResult:
+		renderLimitations(res)
+	case []experiments.PatchRow:
+		renderPatch(res)
+	default:
+		log.Fatalf("scenario %s returned unexpected %T", name, env.Result)
+	}
+}
+
+func renderFig8(rows []experiments.Fig8Row) {
 	fmt.Println("Fig. 8: suspicious IPC calls, malicious app vs. top benign app")
 	fmt.Printf("%-5s %-55s %12s %12s %-8s\n", "IDX", "VULNERABILITY", "MALICIOUS", "TOP BENIGN", "STOPPED")
 	for _, r := range rows {
@@ -90,11 +123,7 @@ func runFig8(scale experiments.Scale, workers int) {
 	}
 }
 
-func runFig9(scale experiments.Scale) {
-	res, err := experiments.Fig9Colluders(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderFig9(res *experiments.Fig9Result) {
 	fmt.Println("Fig. 9: suspicious IPC calls of the top apps under a 4-app colluding attack")
 	fmt.Printf("colluders: %v; benign bystander: %s; recovered: %v\n", res.Colluders, res.Bystander, res.Recovered)
 	for i, delta := range res.Deltas {
@@ -120,11 +149,7 @@ func isColluder(colluders []string, pkg string) bool {
 	return false
 }
 
-func runFig10(scale experiments.Scale) {
-	res, err := experiments.Fig10IPCOverhead(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderFig10(res *experiments.Fig10Result) {
 	fmt.Println("Fig. 10: IPC call latency vs. payload, stock vs. defense framework")
 	fmt.Println("# payload_kb\tstock_us\twith_defense_us")
 	for _, r := range res.Rows {
@@ -143,11 +168,7 @@ func runFig10(scale experiments.Scale) {
 	fmt.Print(metrics.ASCIIChart("IPC latency (µs) vs. payload (KB on x-axis)", 64, 14, &stock, &defended))
 }
 
-func runMultiPath(scale experiments.Scale) {
-	res, err := experiments.MultiPathStudy(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderMultiPath(res *experiments.MultiPathResult) {
 	fmt.Printf("§VI multi-path evasion study (%d execution paths per call)\n", res.Paths)
 	fmt.Printf("wide pairing window:  classified=%d  unclassified=%d  top benign=%d\n",
 		res.ClassifiedScore, res.UnclassifiedScore, res.TopBenignScore)
@@ -157,11 +178,7 @@ func runMultiPath(scale experiments.Scale) {
 	fmt.Println("→ path smearing does not evade Algorithm 1; classification recovers full per-path attribution")
 }
 
-func runThresholds(workers int) {
-	rows, err := experiments.ThresholdAblationContext(context.Background(), workers)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderThresholds(rows []experiments.ThresholdRow) {
 	fmt.Println("defender threshold ablation (alarm / engage)")
 	fmt.Printf("%-8s %-8s %14s %10s %12s %10s %s\n", "ALARM", "ENGAGE", "TIME-TO-ENGAGE", "PEAK JGR", "MARGIN", "RECORDS", "DEFENDED")
 	for _, r := range rows {
@@ -174,11 +191,7 @@ func runThresholds(workers int) {
 	}
 }
 
-func runLimitations(scale experiments.Scale) {
-	res, err := experiments.LimitationStudy(scale)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderLimitations(res *experiments.LimitationResult) {
 	fmt.Println("§VI limitation study: JGRE through a non-Binder channel (broadcast/ASHMEM)")
 	fmt.Printf("JGR monitor engaged: %v\n", res.Engaged)
 	fmt.Printf("attacker attributed by Algorithm 1: %v (no binder records exist for the channel)\n", res.AttackerScored)
@@ -186,11 +199,7 @@ func runLimitations(scale experiments.Scale) {
 	fmt.Println("→ the defense depends on the binder-driver evidence stream; covert channels are out of reach (paper §VI)")
 }
 
-func runPatch() {
-	rows, err := experiments.PatchStudy()
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderPatch(rows []experiments.PatchRow) {
 	fmt.Println("§IV-B counterfactual: patch EVERY interface with a per-process quota")
 	fmt.Printf("%-8s %-14s %-18s %-18s %s\n", "QUOTA", "1-APP BLOCKED", "HEAVY-APP REFUSALS", "ALL REFUSALS", "COLLUDERS TO REBOOT")
 	for _, r := range rows {
@@ -204,11 +213,7 @@ func runPatch() {
 	fmt.Println("  colluders, because every service shares system_server's one JGR table (§IV-B)")
 }
 
-func runDelays(scale experiments.Scale, workers int) {
-	rows, err := experiments.ResponseDelaysContext(context.Background(), scale, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
+func renderDelays(rows []experiments.DelayRow) {
 	fmt.Println("§V-D1: response delays (attack-source identification)")
 	fmt.Printf("%-55s %12s %10s %s\n", "VULNERABILITY", "DELAY", "RECORDS", "DEFENDED")
 	over := 0

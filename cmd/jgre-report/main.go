@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	jgre-report [-o report.md] [-thirdparty n] [-calls n]
+//	jgre-report [-o report.md] [-thirdparty n] [-calls n] [-ablations]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -81,12 +83,16 @@ func main() {
 		GeneratedAt: fmt.Sprintf("virtual t=%.1fs after audit-device boot", pd.Device.Clock().Now().Seconds()),
 	}
 	if *ablations {
-		if in.Thresholds, err = experiments.ThresholdAblation(); err != nil {
+		thr, err := scenario.Execute(context.Background(), "thresholds", scenario.Params{})
+		if err != nil {
 			log.Fatal(err)
 		}
-		if in.Patch, err = experiments.PatchStudy(); err != nil {
+		in.Thresholds = thr.Result.([]experiments.ThresholdRow)
+		patch, err := scenario.Execute(context.Background(), "patch", scenario.Params{})
+		if err != nil {
 			log.Fatal(err)
 		}
+		in.Patch = patch.Result.([]experiments.PatchRow)
 	}
 	if err := report.Write(w, in); err != nil {
 		log.Fatal(err)

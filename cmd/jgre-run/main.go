@@ -1,0 +1,114 @@
+// Command jgre-run is the unified front end over the scenario registry:
+// one binary that can enumerate and execute every registered experiment
+// — each table, figure and study of the evaluation — and emit the shared
+// JSON result envelope.
+//
+// Usage:
+//
+//	jgre-run list
+//	jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n]
+//	         [-filter a,b] [-json]
+//
+// Parallelizable scenarios (marked in jgre-run list) fan out across
+// -parallel workers; every shard runs on its own simulated device, so
+// the output is identical for any worker count.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-run: ")
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "list" || name == "-list" || name == "--list" {
+		list()
+		return
+	}
+
+	fs := flag.NewFlagSet("jgre-run "+name, flag.ExitOnError)
+	scaleName := fs.String("scale", "quick", "quick or full")
+	workers := fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
+	seed := fs.Int64("seed", 0, "seed label recorded in the envelope")
+	filter := fs.String("filter", "", "comma-separated sweep targets (scenario-specific; empty = all)")
+	asJSON := fs.Bool("json", false, "emit the shared result envelope as JSON")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		log.Printf("unknown scenario %q; try: jgre-run list", name)
+		os.Exit(2)
+	}
+	scale, err := scenario.ParseScale(*scaleName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := scenario.Params{Scale: scale, Workers: *workers, Seed: *seed}
+	if *filter != "" {
+		for _, f := range strings.Split(*filter, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				p.Filter = append(p.Filter, f)
+			}
+		}
+	}
+
+	env, err := s.Execute(context.Background(), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		out, err := env.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+		return
+	}
+	fmt.Printf("scenario %s (group %s, scale %s, workers %d)\n", env.Scenario, env.Group, env.Scale, env.Workers)
+	if text, ok := env.Result.(string); ok {
+		fmt.Print(text)
+	} else {
+		// The envelope's JSON rendering doubles as the human view for
+		// structured results; the per-figure cmd tools render prettier
+		// reports.
+		out, err := env.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(out)
+	}
+	fmt.Printf("completed in %.0f ms\n", env.WallMS)
+}
+
+func list() {
+	fmt.Printf("%-14s %-10s %-9s %s\n", "SCENARIO", "GROUP", "PARALLEL", "DESCRIPTION")
+	for _, s := range scenario.List() {
+		par := "-"
+		if s.Parallelizable {
+			par = "yes"
+		}
+		fmt.Printf("%-14s %-10s %-9s %s\n", s.Name, s.Group, par, s.Description)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  jgre-run list
+  jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n] [-filter a,b] [-json]`)
+}

@@ -95,16 +95,11 @@ func RunStatic(p *code.Program, obtainable func(string) bool) *PipelineResult {
 
 // Run executes the full four-step pipeline: the static stages over the
 // program, then dynamic verification of every kept candidate against the
-// device.
-func Run(p *code.Program, dev *device.Device, vcfg VerifyConfig) (*PipelineResult, error) {
-	return RunContext(context.Background(), p, dev, vcfg)
-}
-
-// RunContext is Run with cancellation; vcfg.Workers sizes the dynamic
-// stage's verification pool.
-func RunContext(ctx context.Context, p *code.Program, dev *device.Device, vcfg VerifyConfig) (*PipelineResult, error) {
+// device. vcfg.Workers sizes the dynamic stage's verification pool;
+// cancelling ctx aborts the sweep.
+func Run(ctx context.Context, p *code.Program, dev *device.Device, vcfg VerifyConfig) (*PipelineResult, error) {
 	res := RunStatic(p, nil)
-	verify, err := VerifyContext(ctx, dev, res.Sift.Kept, vcfg)
+	verify, err := Verify(ctx, dev, res.Sift.Kept, vcfg)
 	if err != nil {
 		return nil, err
 	}

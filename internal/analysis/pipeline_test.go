@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -146,7 +147,7 @@ func TestFullPipelineReproducesHeadlineNumbers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(c.Program, dev, VerifyConfig{Calls: 120, GCEvery: 30})
+	res, err := Run(context.Background(), c.Program, dev, VerifyConfig{Calls: 120, GCEvery: 30})
 	if err != nil {
 		t.Fatal(err)
 	}

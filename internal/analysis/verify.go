@@ -77,13 +77,9 @@ type VerifyResult struct {
 // whose table keeps growing as confirmed vulnerabilities. dev is the
 // template: each candidate runs on its own device booted from the same
 // configuration (same seed, same installed population), keeping every
-// per-method measurement independent of the others.
-func Verify(dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyResult, error) {
-	return VerifyContext(context.Background(), dev, kept, cfg)
-}
-
-// VerifyContext is Verify on a worker pool (cfg.Workers).
-func VerifyContext(ctx context.Context, dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyResult, error) {
+// per-method measurement independent of the others. cfg.Workers sizes the
+// verification pool; cancelling ctx aborts the sweep.
+func Verify(ctx context.Context, dev *device.Device, kept []RiskyMethod, cfg VerifyConfig) (*VerifyResult, error) {
 	if cfg.Calls == 0 {
 		cfg.Calls = 300
 	}

@@ -20,7 +20,7 @@ func TestVerifyParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(workers int) []byte {
-		res, err := VerifyContext(context.Background(), dev, static.Sift.Kept,
+		res, err := Verify(context.Background(), dev, static.Sift.Kept,
 			VerifyConfig{Calls: 120, GCEvery: 30, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -58,7 +59,7 @@ func Audit(cfg AuditConfig) (*analysis.PipelineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Run(c.Program, dev, analysis.VerifyConfig{Calls: cfg.VerifyCalls, Workers: cfg.Workers})
+	return analysis.Run(context.Background(), c.Program, dev, analysis.VerifyConfig{Calls: cfg.VerifyCalls, Workers: cfg.Workers})
 }
 
 // ProtectedDevice bundles a booted device with its defender.

@@ -38,14 +38,9 @@ func (r ThresholdRow) Margin() int { return catalog.JGRThreshold - r.PeakJGR }
 // analyse noisier, smaller windows; higher ones risk eating into the
 // safety margin below the 51,200 abort line. The paper's 4,000/12,000
 // leaves ≈4/5 of the table as margin; this sweep quantifies the range.
-func ThresholdAblation() ([]ThresholdRow, error) {
-	return ThresholdAblationContext(context.Background(), 0)
-}
-
-// ThresholdAblationContext is ThresholdAblation on a worker pool; each
-// threshold pair already runs on its own device (seed 200+idx), so the
-// rows are identical for any worker count.
-func ThresholdAblationContext(ctx context.Context, workers int) ([]ThresholdRow, error) {
+// Each threshold pair runs on its own device (seed 200+idx), so the rows
+// are identical for any worker count (0 = one per CPU, 1 = sequential).
+func ThresholdAblation(ctx context.Context, workers int) ([]ThresholdRow, error) {
 	configs := []struct{ alarm, engage int }{
 		{1000, 3000},
 		{2000, 6000},

@@ -42,14 +42,9 @@ type Fig8Row struct {
 // run a benign population plus one malicious app attacking it, engage the
 // defender (Δ = 1.8 ms, §V-C), and compare suspicious-call counts.
 // Quick scale samples every 6th vulnerability with a 20-app population.
-func Fig8SingleAttacker(scale Scale) ([]Fig8Row, error) {
-	return Fig8SingleAttackerContext(context.Background(), scale, 0)
-}
-
-// Fig8SingleAttackerContext is Fig8SingleAttacker on a worker pool; each
-// vulnerability already runs on its own device (seed 50+idx), so the rows
-// are identical for any worker count.
-func Fig8SingleAttackerContext(ctx context.Context, scale Scale, workers int) ([]Fig8Row, error) {
+// Each vulnerability runs on its own device (seed 50+idx), so the rows
+// are identical for any worker count (0 = one per CPU, 1 = sequential).
+func Fig8SingleAttacker(ctx context.Context, scale Scale, workers int) ([]Fig8Row, error) {
 	rows := catalog.ExploitableInterfaces()
 	stride, population := 6, 20
 	if scale == Full {
@@ -133,8 +128,12 @@ var PaperDeltas = []time.Duration{79 * time.Microsecond, 1900 * time.Microsecond
 // Fig9Colluders reproduces Fig. 9: four colluding apps attack four
 // different vulnerable interfaces while a chatty-but-benign app fires IPC
 // calls with 0–100 ms gaps; Algorithm 1 is re-run with each Δ and must
-// rank the four colluders above the bystander every time.
-func Fig9Colluders(scale Scale) (*Fig9Result, error) {
+// rank the four colluders above the bystander every time. The attack run
+// itself is one shared-device simulation, but the per-Δ rescoring fans
+// out across workers: Algorithm 1 only reads the frozen detection window,
+// so every Δ scores the same records and the result is identical for any
+// worker count.
+func Fig9Colluders(ctx context.Context, scale Scale, workers int) (*Fig9Result, error) {
 	dev, err := device.Boot(device.Config{Seed: 99})
 	if err != nil {
 		return nil, err
@@ -183,13 +182,17 @@ func Fig9Colluders(scale Scale) (*Fig9Result, error) {
 	}
 	det := hist[0]
 	res.Recovered = det.Recovered
-	for _, delta := range res.Deltas {
+	top, err := parallel.Map(ctx, res.Deltas, workers, func(_ context.Context, _ int, delta time.Duration) ([]defense.AppScore, error) {
 		scores := def.ScoreWithDelta(det.RawRecords, det.RawAddTimes, delta)
 		if len(scores) > 5 {
 			scores = scores[:5]
 		}
-		res.Top = append(res.Top, scores)
+		return scores, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Top = top
 	return res, nil
 }
 
@@ -224,15 +227,10 @@ type DelayRow struct {
 // ResponseDelays measures, for every known vulnerability (54 system + 3
 // prebuilt-app interfaces), the defender's source-identification delay.
 // Quick scale samples every 6th system interface but always includes the
-// paper's named outlier, midi.registerDeviceServer.
-func ResponseDelays(scale Scale) ([]DelayRow, error) {
-	return ResponseDelaysContext(context.Background(), scale, 0)
-}
-
-// ResponseDelaysContext is ResponseDelays on a worker pool; every
-// measurement already boots its own device (seeds 70+idx / 80+idx), so the
-// rows are identical for any worker count.
-func ResponseDelaysContext(ctx context.Context, scale Scale, workers int) ([]DelayRow, error) {
+// paper's named outlier, midi.registerDeviceServer. Every measurement
+// boots its own device (seeds 70+idx / 80+idx), so the rows are identical
+// for any worker count (0 = one per CPU, 1 = sequential).
+func ResponseDelays(ctx context.Context, scale Scale, workers int) ([]DelayRow, error) {
 	rows := catalog.ExploitableInterfaces()
 	stride := 6
 	if scale == Full {
@@ -456,68 +454,83 @@ type BypassRow struct {
 // ProtectedBypass demonstrates §IV-C: every helper-guarded interface is
 // bounded through its helper but unbounded through the raw binder; the
 // per-process-guarded ones hold except enqueueToast under the package
-// spoof.
-func ProtectedBypass() ([]BypassRow, error) {
+// spoof. Each protected interface is probed on its own freshly booted
+// device (seed 71), so the rows are identical for any worker count
+// (0 = one per CPU, 1 = sequential).
+func ProtectedBypass(ctx context.Context, workers int) ([]BypassRow, error) {
+	type probe struct {
+		idx int
+		row catalog.Interface
+	}
+	var probes []probe
+	for i, row := range catalog.Interfaces() {
+		if row.Protection != catalog.Unprotected {
+			probes = append(probes, probe{idx: i, row: row})
+		}
+	}
+	return parallel.Map(ctx, probes, workers, func(_ context.Context, _ int, p probe) (BypassRow, error) {
+		br, err := bypassOnce(p.idx, p.row)
+		if err != nil {
+			return BypassRow{}, fmt.Errorf("experiments: bypass %s: %w", p.row.FullName(), err)
+		}
+		return br, nil
+	})
+}
+
+func bypassOnce(idx int, row catalog.Interface) (BypassRow, error) {
 	dev, err := device.Boot(device.Config{Seed: 71})
 	if err != nil {
-		return nil, err
+		return BypassRow{}, err
 	}
-	var out []BypassRow
-	for i, row := range catalog.Interfaces() {
-		if row.Protection == catalog.Unprotected {
-			continue
+	app, err := dev.Apps().Install(fmt.Sprintf("com.bypass.app%02d", idx))
+	if err != nil {
+		return BypassRow{}, err
+	}
+	if row.Permission != "" {
+		if err := dev.Permissions().Grant(app.Uid(), row.Permission); err != nil {
+			return BypassRow{}, err
 		}
-		app, err := dev.Apps().Install(fmt.Sprintf("com.bypass.app%02d", i))
-		if err != nil {
-			return nil, err
-		}
-		if row.Permission != "" {
-			if err := dev.Permissions().Grant(app.Uid(), row.Permission); err != nil {
-				return nil, err
+	}
+	client, err := dev.NewClient(app, row.Service)
+	if err != nil {
+		return BypassRow{}, err
+	}
+	br := BypassRow{Interface: row.FullName(), Protection: row.Protection}
+	svc := dev.Service(row.Service)
+	probe := 3 * row.GuardLimit
+
+	switch row.Protection {
+	case catalog.HelperGuard:
+		helper := services.NewHelper(client, row)
+		for j := 0; j < probe; j++ {
+			if err := helper.Acquire(); err != nil {
+				break
 			}
 		}
-		client, err := dev.NewClient(app, row.Service)
-		if err != nil {
-			return nil, err
+		br.HelperBounded = svc.EntryCount(row.Method) <= row.GuardLimit
+		for j := 0; j < probe; j++ {
+			if err := client.Register(row.Method); err != nil {
+				return BypassRow{}, err
+			}
 		}
-		br := BypassRow{Interface: row.FullName(), Protection: row.Protection}
-		svc := dev.Service(row.Service)
-		probe := 3 * row.GuardLimit
-
-		switch row.Protection {
-		case catalog.HelperGuard:
-			helper := services.NewHelper(client, row)
-			for j := 0; j < probe; j++ {
-				if err := helper.Acquire(); err != nil {
+		br.DirectUnbounded = svc.EntryCount(row.Method) > row.GuardLimit
+	case catalog.PerProcessGuard:
+		pkg := app.Package()
+		if row.Bypassable {
+			pkg = "android"
+			br.SpoofUsed = true
+		}
+		for j := 0; j < probe; j++ {
+			if err := client.RegisterAs(row.Method, pkg, client.NewToken()); err != nil {
+				if strings.Contains(err.Error(), "quota") {
 					break
 				}
+				return BypassRow{}, err
 			}
-			br.HelperBounded = svc.EntryCount(row.Method) <= row.GuardLimit
-			for j := 0; j < probe; j++ {
-				if err := client.Register(row.Method); err != nil {
-					return nil, err
-				}
-			}
-			br.DirectUnbounded = svc.EntryCount(row.Method) > row.GuardLimit
-		case catalog.PerProcessGuard:
-			pkg := app.Package()
-			if row.Bypassable {
-				pkg = "android"
-				br.SpoofUsed = true
-			}
-			for j := 0; j < probe; j++ {
-				if err := client.RegisterAs(row.Method, pkg, client.NewToken()); err != nil {
-					if strings.Contains(err.Error(), "quota") {
-						break
-					}
-					return nil, err
-				}
-			}
-			br.DirectUnbounded = svc.EntryCount(row.Method) > row.GuardLimit
-			br.HelperBounded = !br.DirectUnbounded
 		}
-		app.ForceStop("bypass probe done")
-		out = append(out, br)
+		br.DirectUnbounded = svc.EntryCount(row.Method) > row.GuardLimit
+		br.HelperBounded = !br.DirectUnbounded
 	}
-	return out, nil
+	app.ForceStop("bypass probe done")
+	return br, nil
 }

@@ -1,56 +1,13 @@
 package experiments
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"testing"
-
-	"repro/internal/catalog"
 )
 
-// mustJSON marshals a sweep result for byte-level comparison.
-func mustJSON(t *testing.T, v any) []byte {
-	t.Helper()
-	b, err := json.Marshal(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return b
-}
-
-// assertEquivalent runs a sweep at workers=1 and workers=8 and requires
-// byte-identical JSON — the engine's core guarantee: per-shard isolation
-// plus in-order merging makes results independent of the pool size.
-func assertEquivalent(t *testing.T, name string, run func(workers int) (any, error)) {
-	t.Helper()
-	seq, err := run(1)
-	if err != nil {
-		t.Fatalf("%s workers=1: %v", name, err)
-	}
-	par, err := run(8)
-	if err != nil {
-		t.Fatalf("%s workers=8: %v", name, err)
-	}
-	js, jp := mustJSON(t, seq), mustJSON(t, par)
-	if !bytes.Equal(js, jp) {
-		t.Errorf("%s: workers=1 and workers=8 outputs differ\nseq: %.400s\npar: %.400s", name, js, jp)
-	}
-}
-
-func TestFig3ParallelEquivalence(t *testing.T) {
-	// A slice of the full sweep keeps the test fast; every interface runs
-	// the same attackOnce shard either way.
-	var ifaces []string
-	for i, row := range catalog.ExploitableInterfaces() {
-		if i%7 == 0 {
-			ifaces = append(ifaces, row.FullName())
-		}
-	}
-	assertEquivalent(t, "fig3", func(workers int) (any, error) {
-		return Fig3AttackCurvesContext(context.Background(), Quick, ifaces, workers)
-	})
-}
+// The workers=1-vs-N equivalence of every parallel sweep is asserted by
+// the registry-driven tests in internal/scenario, which enumerate
+// scenario.List() instead of a hand-maintained list here.
 
 func TestFig3DoesNotMutateCallerSlice(t *testing.T) {
 	// A caller's empty-but-capacious slice must never receive the
@@ -58,35 +15,8 @@ func TestFig3DoesNotMutateCallerSlice(t *testing.T) {
 	backing := make([]string, 3, 60)
 	backing[0], backing[1], backing[2] = "a", "b", "c"
 	arg := backing[:0]
-	_, _ = Fig3AttackCurvesContext(context.Background(), Quick, arg, 1)
+	_, _ = Fig3AttackCurves(context.Background(), Quick, arg, 1)
 	if backing[0] != "a" || backing[1] != "b" || backing[2] != "c" {
 		t.Errorf("caller's backing array mutated: %v", backing[:3])
 	}
-}
-
-func TestFig6ParallelEquivalence(t *testing.T) {
-	if testing.Short() {
-		t.Skip("meters all 54 interfaces twice")
-	}
-	assertEquivalent(t, "fig6", func(workers int) (any, error) {
-		return Fig6LatencyCDFContext(context.Background(), Quick, workers)
-	})
-}
-
-func TestFig8ParallelEquivalence(t *testing.T) {
-	assertEquivalent(t, "fig8", func(workers int) (any, error) {
-		return Fig8SingleAttackerContext(context.Background(), Quick, workers)
-	})
-}
-
-func TestResponseDelaysParallelEquivalence(t *testing.T) {
-	assertEquivalent(t, "delays", func(workers int) (any, error) {
-		return ResponseDelaysContext(context.Background(), Quick, workers)
-	})
-}
-
-func TestThresholdAblationParallelEquivalence(t *testing.T) {
-	assertEquivalent(t, "thresholds", func(workers int) (any, error) {
-		return ThresholdAblationContext(context.Background(), workers)
-	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 )
 
 func TestHeadlineQuick(t *testing.T) {
-	res, err := Headline(Quick)
+	res, err := Headline(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,10 +41,10 @@ func TestHeadlineQuick(t *testing.T) {
 }
 
 func TestFig3ShapeFastAndSlow(t *testing.T) {
-	curves, err := Fig3AttackCurves(Quick, []string{
+	curves, err := Fig3AttackCurves(context.Background(), Quick, []string{
 		"audio.startWatchingRoutes", // the paper's fastest (≈100 s at full scale)
 		"notification.enqueueToast", // the paper's slowest (≈1,800 s)
-	})
+	}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func avg(ds []time.Duration) time.Duration {
 }
 
 func TestFig6DeltasSmallAndClose(t *testing.T) {
-	res, err := Fig6LatencyCDF(Quick)
+	res, err := Fig6LatencyCDF(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFig6DeltasSmallAndClose(t *testing.T) {
 }
 
 func TestFig8AttackerAlwaysDominates(t *testing.T) {
-	rows, err := Fig8SingleAttacker(Quick)
+	rows, err := Fig8SingleAttacker(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestFig8AttackerAlwaysDominates(t *testing.T) {
 }
 
 func TestFig9CollusionSweep(t *testing.T) {
-	res, err := Fig9Colluders(Quick)
+	res, err := Fig9Colluders(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFig9CollusionSweep(t *testing.T) {
 }
 
 func TestResponseDelaysBounded(t *testing.T) {
-	rows, err := ResponseDelays(Quick)
+	rows, err := ResponseDelays(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFig10OverheadShape(t *testing.T) {
 }
 
 func TestProtectedBypassMatrix(t *testing.T) {
-	rows, err := ProtectedBypass()
+	rows, err := ProtectedBypass(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestMultiPathStudy(t *testing.T) {
 }
 
 func TestThresholdAblation(t *testing.T) {
-	rows, err := ThresholdAblation()
+	rows, err := ThresholdAblation(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,10 +404,11 @@ func TestNoFalsePositivesUnderBenignLoad(t *testing.T) {
 // IPC→JGR delay is Delay + Δ with a small bounded Δ; fleet-wide mean Δ
 // lands near the 1.8 ms the paper derives.
 func TestObservation2(t *testing.T) {
-	rows, meanDelta, err := Observation2(Quick)
+	res, err := Observation2(Quick)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rows, meanDelta := res.Rows, res.MeanDelta
 	if len(rows) != len(catalog.ExploitableInterfaces()) {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -431,7 +433,7 @@ func TestObservation2(t *testing.T) {
 // small quota values, and still fall to enough colluders because every
 // service shares system_server's table.
 func TestPatchStudy(t *testing.T) {
-	rows, err := PatchStudy()
+	rows, err := PatchStudy(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +475,7 @@ func TestFig3AllInterfacesMatchCatalogTargets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("attacks all 54 interfaces")
 	}
-	curves, err := Fig3AttackCurves(Quick, nil)
+	curves, err := Fig3AttackCurves(context.Background(), Quick, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,21 +28,30 @@ type Obs2Row struct {
 	P90 time.Duration
 }
 
+// Obs2Result bundles the per-interface delay rows with the fleet-wide
+// mean Δ (the paper derives 1.8 ms and ships it as the defender default).
+type Obs2Result struct {
+	Rows      []Obs2Row
+	MeanDelta time.Duration
+}
+
 // Observation2 measures, for every exploitable system interface, the
 // delay between each logged IPC record and the JGR creation it causes —
 // exactly the data the defender's Algorithm 1 keys on. It returns one row
-// per interface plus the fleet-wide mean Δ (the paper derives 1.8 ms).
-func Observation2(scale Scale) ([]Obs2Row, time.Duration, error) {
+// per interface plus the fleet-wide mean Δ. The interfaces share one
+// instrumented device on purpose (the hook watches system_server's table
+// across the whole session), so this measurement is inherently sequential.
+func Observation2(scale Scale) (*Obs2Result, error) {
 	calls := 120
 	if scale == Full {
 		calls = 1000
 	}
 	dev, err := device.Boot(device.Config{Seed: 91})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if err := dev.Driver().EnableIPCLogging(); err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 
 	// Observe every JGR add in system_server with its timestamp.
@@ -59,31 +68,31 @@ func Observation2(scale Scale) ([]Obs2Row, time.Duration, error) {
 	for idx, row := range targets {
 		app, err := dev.Apps().Install(fmt.Sprintf("com.obs2.meter%03d", idx))
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		atk, err := workload.NewAttacker(dev, app, row.FullName())
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		adds = adds[:0]
 		if err := dev.Driver().TruncateLog(); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		for i := 0; i < calls; i++ {
 			if err := atk.Step(); err != nil {
-				return nil, 0, fmt.Errorf("experiments: obs2 %s: %w", row.FullName(), err)
+				return nil, fmt.Errorf("experiments: obs2 %s: %w", row.FullName(), err)
 			}
 		}
 		if _, err := dev.Driver().FlushLog(); err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		records, err := dev.Driver().ReadLog(kernel.SystemUid)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		delays := causalDelays(records, adds, app.Uid())
 		if len(delays) == 0 {
-			return nil, 0, fmt.Errorf("experiments: obs2 %s: no delay samples", row.FullName())
+			return nil, fmt.Errorf("experiments: obs2 %s: no delay samples", row.FullName())
 		}
 		sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
 		o := Obs2Row{
@@ -97,7 +106,7 @@ func Observation2(scale Scale) ([]Obs2Row, time.Duration, error) {
 		deltaSum += o.Delta
 		app.ForceStop("obs2 done") // release entries before the next interface
 	}
-	return rows, deltaSum / time.Duration(len(rows)), nil
+	return &Obs2Result{Rows: rows, MeanDelta: deltaSum / time.Duration(len(rows))}, nil
 }
 
 // causalDelays pairs each of the attacker's IPC records with the first

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/device"
+	"repro/internal/parallel"
 	"repro/internal/services"
 	"repro/internal/workload"
 )
@@ -38,17 +40,18 @@ type PatchRow struct {
 
 // PatchStudy sweeps the universal quota and measures, per value: whether
 // a single attacker is blocked, what it costs benign apps, and how many
-// colluders still break the shared table.
-func PatchStudy() ([]PatchRow, error) {
-	var out []PatchRow
-	for i, q := range []int{1, 5, 20, 50, 100} {
+// colluders still break the shared table. Each quota point runs on its
+// own patched device (seed 300+idx), so the rows are identical for any
+// worker count (0 = one per CPU, 1 = sequential).
+func PatchStudy(ctx context.Context, workers int) ([]PatchRow, error) {
+	quotas := []int{1, 5, 20, 50, 100}
+	return parallel.Map(ctx, quotas, workers, func(_ context.Context, i int, q int) (PatchRow, error) {
 		row, err := patchOnce(i, q)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: patch quota %d: %w", q, err)
+			return PatchRow{}, fmt.Errorf("experiments: patch quota %d: %w", q, err)
 		}
-		out = append(out, row)
-	}
-	return out, nil
+		return row, nil
+	})
 }
 
 func patchOnce(idx, quota int) (PatchRow, error) {

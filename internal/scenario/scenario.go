@@ -1,0 +1,206 @@
+// Package scenario is the experiment registry: every table, figure and
+// study of the paper's evaluation registers itself here under a stable
+// name, and every front end (the cmd tools, the unified jgre-run, the
+// jgre-bench timing harness and the equivalence/cancellation tests)
+// drives the same registry instead of maintaining its own experiment
+// list. A scenario couples a Run function to the metadata the front ends
+// need: its group, whether its sweep fans out over a worker pool with
+// worker-count-independent results, and how to count its shards.
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Scale selects the experiment size. Quick shrinks the paper's
+// parameters for tests and benchmarks while preserving every qualitative
+// result; Full reproduces them on virtual time.
+type Scale int
+
+// Available scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// String returns "quick" or "full".
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale maps the cmd tools' -scale flag values to a Scale.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "quick", "":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("scenario: unknown scale %q (want quick or full)", name)
+	}
+}
+
+// Params are the shared knobs every scenario accepts. Scenarios ignore
+// the fields they have no use for (most experiments pin their own boot
+// seeds to stay reproducible).
+type Params struct {
+	Scale Scale
+	// Workers sizes the sweep's worker pool (0 = one per CPU, 1 =
+	// sequential). Parallelizable scenarios produce identical results
+	// for any value; the rest ignore it.
+	Workers int
+	// Seed is recorded in the envelope for provenance. Registered
+	// scenarios pin their own device seeds, so today it only labels the
+	// run.
+	Seed int64
+	// Filter restricts a sweep to the named targets (scenario-specific;
+	// fig3 takes interface names like "audio.startWatchingRoutes"). Nil
+	// means the full sweep.
+	Filter []string
+}
+
+// Scenario is one registered experiment.
+type Scenario struct {
+	// Name is the stable registry key ("fig3", "table-i", "delays", …).
+	Name string
+	// Group buckets scenarios by subsystem: "analysis", "attack",
+	// "baseline", "defense" or "extension".
+	Group string
+	// Description is the one-line human summary jgre-run list prints.
+	Description string
+	// Parallelizable marks scenarios whose Run fans out over
+	// Params.Workers with byte-identical results for any worker count —
+	// the engine guarantee jgre-bench and the equivalence tests verify.
+	Parallelizable bool
+	// Slow marks scenarios too expensive to run twice under -short; the
+	// registry-driven equivalence tests skip them in short mode.
+	Slow bool
+	// Run executes the experiment and returns its result (a
+	// JSON-marshalable value).
+	Run func(ctx context.Context, p Params) (any, error)
+	// Shards reports the fan-out width of a result (how many independent
+	// devices the sweep booted), for jgre-bench's report. Nil means
+	// unknown.
+	Shards func(result any) int
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry. It panics on a duplicate or
+// incomplete registration — both are programming errors caught at init.
+func Register(s Scenario) {
+	if s.Name == "" || s.Group == "" || s.Run == nil {
+		panic(fmt.Sprintf("scenario: incomplete registration %+v", s))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// List returns every registered scenario, sorted by group then name, so
+// front ends enumerate a stable order.
+func List() []Scenario {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Envelope is the common JSON result wrapper every front end emits: the
+// scenario's identity, the parameters it ran under, the wall-clock time
+// it took and its result.
+type Envelope struct {
+	Scenario string   `json:"scenario"`
+	Group    string   `json:"group"`
+	Scale    string   `json:"scale"`
+	Seed     int64    `json:"seed,omitempty"`
+	Filter   []string `json:"filter,omitempty"`
+	Workers  int      `json:"workers"`
+	WallMS   float64  `json:"wall_ms"`
+	Result   any      `json:"result"`
+}
+
+// Execute runs the scenario and wraps its result in the envelope.
+func (s Scenario) Execute(ctx context.Context, p Params) (*Envelope, error) {
+	start := time.Now()
+	res, err := s.Run(ctx, p)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", s.Name, err)
+	}
+	return &Envelope{
+		Scenario: s.Name,
+		Group:    s.Group,
+		Scale:    p.Scale.String(),
+		Seed:     p.Seed,
+		Filter:   p.Filter,
+		Workers:  p.Workers,
+		WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Result:   res,
+	}, nil
+}
+
+// Execute looks the scenario up by name and runs it.
+func Execute(ctx context.Context, name string, p Params) (*Envelope, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+	}
+	return s.Execute(ctx, p)
+}
+
+// JSON renders the envelope indented, newline-terminated — the -json
+// output of every cmd tool.
+func (e *Envelope) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshalling %s envelope: %w", e.Scenario, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// CanonicalJSON renders the envelope with the run metadata that
+// legitimately varies between runs — wall-clock time and the worker
+// count — zeroed out. Two runs of the same scenario are equivalent iff
+// their canonical bytes match; this is the equality the workers=1-vs-N
+// tests and jgre-bench assert.
+func (e *Envelope) CanonicalJSON() ([]byte, error) {
+	c := *e
+	c.WallMS = 0
+	c.Workers = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshalling %s envelope: %w", e.Scenario, err)
+	}
+	return b, nil
+}
