@@ -1,10 +1,11 @@
 # Build / test / CI entry points. `make ci` is the full gate: vet, the
-# tier-1 build+test flow, and the race detector over the concurrent
-# experiment engine and everything that runs on it.
+# tier-1 build+test flow, the race detector over the concurrent
+# experiment engine and everything that runs on it, and a short fuzz
+# smoke over the IPC-record parser.
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-json ci
+.PHONY: build test vet race fuzz-smoke bench bench-json ci
 
 build:
 	$(GO) build ./...
@@ -17,9 +18,15 @@ vet:
 
 # The parallel engine and its consumers must stay race-clean: the fan-out
 # pool, the converted experiment sweeps, the pipeline's parallel
-# dynamic-verification stage, and the scenario registry that drives them.
+# dynamic-verification stage, the scenario registry that drives them, and
+# the fault-injected defense/binder/faults telemetry path.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults
+
+# Ten seconds of coverage-guided fuzzing over the kernel log-record
+# parser, the one spot where the defender consumes a wire format.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseIPCRecord -fuzztime=10s -run '^$$' ./internal/binder
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
@@ -28,4 +35,4 @@ bench-json:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke

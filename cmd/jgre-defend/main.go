@@ -15,9 +15,16 @@
 //	jgre-defend -thresholds [-parallel n] [-json]
 //	jgre-defend -limitations [-scale quick|full] [-json]
 //	jgre-defend -patch [-parallel n] [-json]
+//	jgre-defend -faults [-axis drop|jitter|ring] [-scale quick|full]
+//	            [-parallel n] [-json]
 //
-// The Fig. 8, Fig. 9, -delays, -thresholds and -patch sweeps fan out
-// across -parallel workers (default: one per CPU); every measurement
+// -faults runs the robustness degradation sweep (scenarios deg-drop,
+// deg-jitter, deg-ring): seeded fault injection into the binder telemetry
+// path, measuring defender accuracy, evidence coverage, response delay
+// and innocent-kill discipline as one fault axis worsens.
+//
+// The Fig. 8, Fig. 9, -delays, -thresholds, -patch and -faults sweeps fan
+// out across -parallel workers (default: one per CPU); every measurement
 // runs on its own simulated device, so the output is identical for any
 // worker count. -json emits the shared scenario result envelope instead
 // of the rendered report.
@@ -47,6 +54,8 @@ func main() {
 	thresholds := flag.Bool("thresholds", false, "run the alarm/engage threshold ablation instead")
 	limitations := flag.Bool("limitations", false, "run the §VI covert-channel limitation study instead")
 	patch := flag.Bool("patch", false, "run the §IV-B universal per-process-quota counterfactual instead")
+	faultSweep := flag.Bool("faults", false, "run the telemetry fault-injection degradation sweep instead")
+	axis := flag.String("axis", "drop", "degradation axis for -faults: drop, jitter or ring")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	workers := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (1 = sequential; results are identical)")
 	asJSON := flag.Bool("json", false, "emit the shared scenario result envelope as JSON")
@@ -60,6 +69,12 @@ func main() {
 
 	name := ""
 	switch {
+	case *faultSweep:
+		name = "deg-" + *axis
+		if _, ok := scenario.Lookup(name); !ok {
+			log.Printf("unknown degradation axis %q (want drop, jitter or ring)", *axis)
+			os.Exit(2)
+		}
 	case *delays:
 		name = "delays"
 	case *multipath:
@@ -110,6 +125,8 @@ func main() {
 		renderLimitations(res)
 	case []experiments.PatchRow:
 		renderPatch(res)
+	case *experiments.DegradationResult:
+		renderDegradation(res)
 	default:
 		log.Fatalf("scenario %s returned unexpected %T", name, env.Result)
 	}
@@ -211,6 +228,34 @@ func renderPatch(rows []experiments.PatchRow) {
 	}
 	fmt.Println("\n→ small quotas break legitimate heavy apps; large quotas fall to a handful of")
 	fmt.Println("  colluders, because every service shares system_server's one JGR table (§IV-B)")
+}
+
+func renderDegradation(res *experiments.DegradationResult) {
+	fmt.Printf("telemetry fault-injection degradation sweep, axis %q (innocent-kill bound %d)\n",
+		res.Axis, res.InnocentKillBound)
+	fmt.Printf("%-14s %8s %10s %10s %12s %10s %9s %7s\n",
+		"POINT", "ACCURACY", "RETENTION", "COVERAGE", "RESPONSE", "FALLBACKS", "INNOCENT", "GUARDED")
+	for _, p := range res.Points {
+		fmt.Printf("%-14s %8.2f %10.3f %10.3f %10.1fms %6d/%-3d %9d %7d\n",
+			p.Label, p.Accuracy, p.ScoreRetention, p.MeanCoverage,
+			p.MeanResponseDelayMicros/1000, p.FallbackTrials, p.Trials,
+			p.InnocentKills, p.GuardStops)
+	}
+	fmt.Println()
+	switch res.Axis {
+	case "drop":
+		fmt.Println("→ accuracy and score retention degrade monotonically in the drop rate (nested")
+		fmt.Println("  survivor sets by construction); below the coverage floor, retained-ref")
+		fmt.Println("  fallback attribution keeps the attacker identified")
+	case "jitter":
+		fmt.Println("→ adaptive Δ widens with the observed jitter to keep the attacker ranked;")
+		fmt.Println("  retention above 1 is the wider window crediting extra pairings (recall")
+		fmt.Println("  over precision), bounded by MaxDelay")
+	case "ring":
+		fmt.Println("→ eviction truncates the window to its most recent suffix — exactly where")
+		fmt.Println("  the attack is hottest — so identification survives deep truncation")
+	}
+	fmt.Println("  (no point may exceed the configured innocent-kill bound)")
 }
 
 func renderDelays(rows []experiments.DelayRow) {

@@ -76,10 +76,12 @@ func main() {
 		}()
 		w = f
 	}
+	stats := pd.Device.Stats()
 	in := report.Input{
 		Title:       "JGRE Vulnerability Assessment — simulated Android 6.0.1",
 		Pipeline:    res,
 		Detections:  pd.Defender.History(),
+		Telemetry:   &stats,
 		GeneratedAt: fmt.Sprintf("virtual t=%.1fs after audit-device boot", pd.Device.Clock().Now().Seconds()),
 	}
 	if *ablations {

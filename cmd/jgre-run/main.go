@@ -52,7 +52,14 @@ func main() {
 
 	s, ok := scenario.Lookup(name)
 	if !ok {
-		log.Printf("unknown scenario %q; try: jgre-run list", name)
+		log.Printf("unknown scenario %q", name)
+		if hint := scenario.Suggest(name); hint != "" {
+			fmt.Fprintf(os.Stderr, "did you mean %q?\n", hint)
+		}
+		fmt.Fprintln(os.Stderr, "registered scenarios:")
+		for _, reg := range scenario.List() {
+			fmt.Fprintf(os.Stderr, "  %-14s %-10s %s\n", reg.Name, reg.Group, reg.Description)
+		}
 		os.Exit(2)
 	}
 	scale, err := scenario.ParseScale(*scaleName)

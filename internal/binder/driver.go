@@ -2,10 +2,12 @@ package binder
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/art"
+	"repro/internal/faults"
 	"repro/internal/kernel"
 )
 
@@ -13,6 +15,13 @@ import (
 // (paper §V-B: "It creates a file /proc/jgre_ipc_log in memory to store
 // the data").
 const LogPath = "/proc/jgre_ipc_log"
+
+// StatsPath is the companion procfs file exposing the log's telemetry
+// health: "logged dropped overflowed read_errors". Like a real kernel
+// ring buffer, losses are invisible in the data stream itself but the
+// drop counters are readable, which is what lets the defender (and the
+// experiments) reason about how much evidence went missing.
+const StatsPath = "/proc/jgre_ipc_stats"
 
 // LatencyModel charges virtual time for a transaction as
 // Base + PerKB × payload/1024.
@@ -58,21 +67,70 @@ func (r IPCRecord) String() string {
 		r.Seq, r.Time.Microseconds(), r.FromPid, r.FromUid, r.ToPid, r.Handle, r.Code, r.Size)
 }
 
+// maxLogMicros bounds a parsed timestamp so the microsecond→Duration
+// conversion cannot overflow int64 nanoseconds.
+const maxLogMicros = int64(1<<63-1) / 1000
+
 // ParseIPCRecord parses a procfs log line produced by IPCRecord.String.
+// The parser is strict — exactly eight decimal fields, no trailing
+// garbage, timestamps and sizes in range — because the defender treats
+// the log as kernel-authored evidence and a line it cannot round-trip is
+// a corruption signal, not something to guess at.
 func ParseIPCRecord(line string) (IPCRecord, error) {
-	var (
-		r  IPCRecord
-		us int64
-	)
-	n, err := fmt.Sscanf(strings.TrimSpace(line), "%d %d %d %d %d %d %d %d",
-		&r.Seq, &us, &r.FromPid, &r.FromUid, &r.ToPid, &r.Handle, &r.Code, &r.Size)
-	if err != nil {
-		return IPCRecord{}, fmt.Errorf("binder: parsing IPC record %q: %w", line, err)
+	fields := strings.Fields(line)
+	if len(fields) != 8 {
+		return IPCRecord{}, fmt.Errorf("binder: IPC record %q has %d fields, want 8", line, len(fields))
 	}
-	if n != 8 {
-		return IPCRecord{}, fmt.Errorf("binder: IPC record %q has %d fields, want 8", line, n)
+	bad := func(name string, err error) (IPCRecord, error) {
+		return IPCRecord{}, fmt.Errorf("binder: IPC record %q: bad %s: %v", line, name, err)
+	}
+	var r IPCRecord
+	seq, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return bad("seq", err)
+	}
+	r.Seq = seq
+	us, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return bad("timestamp", err)
+	}
+	if us < 0 || us > maxLogMicros {
+		return IPCRecord{}, fmt.Errorf("binder: IPC record %q: timestamp %d out of range", line, us)
 	}
 	r.Time = time.Duration(us) * time.Microsecond
+	fromPid, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return bad("from_pid", err)
+	}
+	r.FromPid = kernel.Pid(fromPid)
+	fromUid, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return bad("from_uid", err)
+	}
+	r.FromUid = kernel.Uid(fromUid)
+	toPid, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil {
+		return bad("to_pid", err)
+	}
+	r.ToPid = kernel.Pid(toPid)
+	handle, err := strconv.ParseUint(fields[5], 10, 32)
+	if err != nil {
+		return bad("handle", err)
+	}
+	r.Handle = Handle(handle)
+	code, err := strconv.ParseUint(fields[6], 10, 32)
+	if err != nil {
+		return bad("code", err)
+	}
+	r.Code = TxCode(code)
+	size, err := strconv.ParseInt(fields[7], 10, 64)
+	if err != nil {
+		return bad("size", err)
+	}
+	if size < 0 || size > int64(MaxTransactionBytes) {
+		return IPCRecord{}, fmt.Errorf("binder: IPC record %q: size %d out of range", line, size)
+	}
+	r.Size = int(size)
 	return r, nil
 }
 
@@ -185,7 +243,11 @@ type Driver struct {
 	pendingLog   []IPCRecord
 	totalTx      uint64
 	totalLogged  uint64
+	droppedFault uint64
+	droppedRing  uint64
+	readErrs     uint64
 	procfsOpened bool
+	statsOpened  bool
 }
 
 type clockIface interface {
@@ -197,6 +259,15 @@ type clockIface interface {
 type Config struct {
 	Latency LatencyModel
 	LogCost LatencyModel
+
+	// Faults, when non-nil, perturbs the IPC telemetry path: record
+	// drops, a bounded pending-log ring, and timestamp jitter/skew are
+	// applied at log-write time; read errors at ReadLog time. The
+	// transaction path itself — dispatch, latency, JGR bookkeeping — is
+	// never faulted, so a device with a fault injector executes the same
+	// trajectory as one without; only the evidence the defender sees
+	// degrades.
+	Faults *faults.Injector
 }
 
 // New creates a driver attached to the kernel; it observes process deaths
@@ -343,14 +414,33 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 	d.clock.Advance(d.cfg.Latency.cost(size))
 	d.totalTx++
 	if d.logging {
+		// The log write always charges its virtual-time cost — loss
+		// happens downstream of the write — so the simulation trajectory
+		// is identical across fault configurations and only the surviving
+		// evidence differs.
 		d.clock.Advance(d.cfg.LogCost.cost(size))
 		d.logSeq++
-		d.pendingLog = append(d.pendingLog, IPCRecord{
-			Seq: d.logSeq, Time: d.clock.Now(),
-			FromPid: from.Pid(), FromUid: from.Uid(),
-			ToPid: n.owner.Pid(), Handle: n.handle, Code: code, Size: size,
-		})
-		d.totalLogged++
+		if in := d.cfg.Faults; in != nil && in.DropRecord(d.logSeq) {
+			d.droppedFault++
+		} else {
+			t := d.clock.Now()
+			if in != nil {
+				t = in.LogTimestamp(t, d.logSeq)
+			}
+			if in != nil && in.RingCapacity() > 0 && len(d.pendingLog) >= in.RingCapacity() {
+				// Bounded ring: evict the oldest unflushed record and
+				// count the overflow, like a real kernel ring buffer.
+				copy(d.pendingLog, d.pendingLog[1:])
+				d.pendingLog = d.pendingLog[:len(d.pendingLog)-1]
+				d.droppedRing++
+			}
+			d.pendingLog = append(d.pendingLog, IPCRecord{
+				Seq: d.logSeq, Time: t,
+				FromPid: from.Pid(), FromUid: from.Uid(),
+				ToPid: n.owner.Pid(), Handle: n.handle, Code: code, Size: size,
+			})
+			d.totalLogged++
+		}
 	}
 
 	// Pin the sender side of any local binders travelling in the parcel:
@@ -447,7 +537,7 @@ func (d *Driver) onProcessDeath(p *kernel.Process) {
 }
 
 // EnableIPCLogging turns on transaction recording, creating the kernel-
-// only procfs log file. Idempotent.
+// only procfs log file and its telemetry-stats companion. Idempotent.
 func (d *Driver) EnableIPCLogging() error {
 	if !d.procfsOpened {
 		if err := d.k.ProcFS().Create(LogPath, kernel.RootUid, false); err != nil {
@@ -455,8 +545,59 @@ func (d *Driver) EnableIPCLogging() error {
 		}
 		d.procfsOpened = true
 	}
+	if !d.statsOpened {
+		if err := d.k.ProcFS().Create(StatsPath, kernel.RootUid, false); err != nil {
+			return err
+		}
+		d.statsOpened = true
+		d.publishStats()
+	}
 	d.logging = true
 	return nil
+}
+
+// LogStats is the driver's telemetry-health view of the IPC log.
+type LogStats struct {
+	// Seq is the number of log sequence numbers issued — every
+	// transaction that should have been recorded, lost or not.
+	Seq uint64
+	// Logged counts records accepted into the pending buffer. Records
+	// actually reaching the procfs file equal Logged - DroppedRing.
+	Logged uint64
+	// DroppedRate counts records lost to injected per-record drops.
+	DroppedRate uint64
+	// DroppedRing counts records evicted by bounded-ring overflow.
+	DroppedRing uint64
+	// ReadErrors counts injected log-read failures observed by readers.
+	ReadErrors uint64
+}
+
+// Dropped is the total record loss across both drop mechanisms.
+func (s LogStats) Dropped() uint64 { return s.DroppedRate + s.DroppedRing }
+
+// Delivered is the number of records that reached the procfs file.
+func (s LogStats) Delivered() uint64 { return s.Logged - s.DroppedRing }
+
+// LogStats returns the driver's current telemetry counters.
+func (d *Driver) LogStats() LogStats {
+	return LogStats{
+		Seq:         d.logSeq,
+		Logged:      d.totalLogged,
+		DroppedRate: d.droppedFault,
+		DroppedRing: d.droppedRing,
+		ReadErrors:  d.readErrs,
+	}
+}
+
+// publishStats rewrites the procfs stats file from the live counters.
+func (d *Driver) publishStats() {
+	if !d.statsOpened {
+		return
+	}
+	s := d.LogStats()
+	line := fmt.Sprintf("seq %d logged %d dropped_rate %d dropped_ring %d read_errors %d\n",
+		s.Seq, s.Logged, s.DroppedRate, s.DroppedRing, s.ReadErrors)
+	_ = d.k.ProcFS().Write(StatsPath, kernel.RootUid, []byte(line))
 }
 
 // DisableIPCLogging stops recording; buffered records remain flushable.
@@ -481,6 +622,7 @@ func (d *Driver) FlushLog() (int, error) {
 	if err := d.k.ProcFS().Append(LogPath, kernel.RootUid, []byte(sb.String())); err != nil {
 		return 0, err
 	}
+	d.publishStats()
 	return n, nil
 }
 
@@ -495,8 +637,17 @@ func (d *Driver) TruncateLog() error {
 
 // ReadLog parses the procfs log as uid. Permission enforcement is the
 // procfs's: app uids are denied, so malicious apps cannot observe or spoof
-// the evidence stream.
+// the evidence stream. Injected read faults surface as
+// faults.ErrInjectedRead before any data is returned, standing in for
+// the transient EIO a real procfs read can hit.
 func (d *Driver) ReadLog(uid kernel.Uid) ([]IPCRecord, error) {
+	if in := d.cfg.Faults; in != nil {
+		if err := in.ReadError(); err != nil {
+			d.readErrs++
+			d.publishStats()
+			return nil, err
+		}
+	}
 	raw, err := d.k.ProcFS().Read(LogPath, uid)
 	if err != nil {
 		return nil, err
@@ -521,4 +672,41 @@ func (d *Driver) ReadLog(uid kernel.Uid) ([]IPCRecord, error) {
 // records to interfaces.
 func (d *Driver) HandleOf(lb *LocalBinder) Handle {
 	return d.ensureNode(lb).handle
+}
+
+// FaultInjector returns the driver's fault injector, nil when the
+// telemetry path is unfaulted.
+func (d *Driver) FaultInjector() *faults.Injector { return d.cfg.Faults }
+
+// AttributeRetainedRefs is the defender's evidence-free fallback: it
+// counts, per app uid, the binder-driver references currently pinning
+// JGRs in the victim process — live proxies the victim holds on
+// app-owned nodes plus its active death links on them. Unlike the IPC
+// log this is driver ground truth that survives any telemetry loss,
+// but it only sees what is retained *now*, not the transaction history,
+// so it cannot distinguish attack paths or rank by rate — which is why
+// it is a fallback and not the primary scorer.
+func (d *Driver) AttributeRetainedRefs(victim kernel.Pid) map[kernel.Uid]int {
+	ctx, ok := d.ctxs[victim]
+	if !ok {
+		return nil
+	}
+	out := make(map[kernel.Uid]int)
+	for _, br := range ctx.proxies {
+		if br.closed {
+			continue
+		}
+		n := br.node()
+		if n.dead || !n.owner.Alive() || !kernel.IsAppUid(n.owner.Uid()) {
+			continue
+		}
+		out[n.owner.Uid()]++
+	}
+	for _, dl := range ctx.links {
+		if !dl.active || dl.node.dead || !dl.node.owner.Alive() || !kernel.IsAppUid(dl.node.owner.Uid()) {
+			continue
+		}
+		out[dl.node.owner.Uid()]++
+	}
+	return out
 }

@@ -1,17 +1,29 @@
 package binder
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 // FuzzParseIPCRecord hardens the procfs log parser against arbitrary
-// input: it must never panic, and anything it accepts must re-serialize
-// to a line it parses back to the same record.
+// input: it must never panic, it rejects anything that is not exactly
+// eight in-range decimal fields, and anything it accepts must
+// re-serialize to a line it parses back to the same record — the
+// defender depends on the log being a lossless serialization of what
+// the driver wrote.
 func FuzzParseIPCRecord(f *testing.F) {
 	f.Add("1 100 10 10061 2 7 3 512")
+	f.Add("18446744073709551615 0 0 0 0 4294967295 4294967295 1048576")
+	f.Add(IPCRecord{Seq: 9, Time: 88 * time.Millisecond, FromPid: 301, FromUid: 10042,
+		ToPid: 17, Handle: 12, Code: 1, Size: 4096}.String())
 	f.Add("")
 	f.Add("not a record at all")
 	f.Add("1 2 3 4 5 6 7")
 	f.Add("-1 -2 -3 -4 -5 -6 -7 -8")
 	f.Add("99999999999999999999 1 1 1 1 1 1 1")
+	f.Add("1 9223372036854775807 3 4 5 6 7 8")
+	f.Add("1 100 10 10061 2 7 3 512 trailing")
 	f.Fuzz(func(t *testing.T, line string) {
 		r, err := ParseIPCRecord(line)
 		if err != nil {
@@ -23,6 +35,16 @@ func FuzzParseIPCRecord(f *testing.F) {
 		}
 		if again != r {
 			t.Fatalf("round trip mismatch: %+v vs %+v", r, again)
+		}
+		// Accepted values must sit inside the driver's own domain.
+		if r.Time < 0 || r.Time%time.Microsecond != 0 {
+			t.Fatalf("accepted timestamp %v not a non-negative microsecond multiple", r.Time)
+		}
+		if r.Size < 0 || r.Size > MaxTransactionBytes {
+			t.Fatalf("accepted out-of-range size %d", r.Size)
+		}
+		if len(strings.Fields(line)) != 8 {
+			t.Fatalf("accepted line %q without exactly 8 fields", line)
 		}
 	})
 }

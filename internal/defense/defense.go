@@ -43,6 +43,26 @@ const (
 	// recordCost is the per-event overhead of JGR recording once past
 	// the alarm threshold (§V-D2 measures ≈1 µs).
 	recordCost = time.Microsecond
+
+	// DefaultLogReadRetries / DefaultRetryBackoff govern the hardened
+	// evidence read: a failed /proc/jgre_ipc_log read is retried with
+	// doubling (virtual-time) backoff before the defender falls back to
+	// evidence-free attribution.
+	DefaultLogReadRetries = 3
+	DefaultRetryBackoff   = 2 * time.Millisecond
+	// DefaultMinCoverage is the fraction of generated log records that
+	// must survive to the defender for Algorithm 1's ranking to be
+	// trusted; below it the defender blends in per-uid retained-ref
+	// attribution from the driver.
+	DefaultMinCoverage = 0.35
+	// DefaultInnocentKillBudget is the low-confidence kill bound the
+	// robustness scenarios configure. The guard itself is opt-in
+	// (Config.InnocentKillBudget zero leaves the paper's unbounded kill
+	// loop intact) so the faithful-reproduction scenarios are unchanged.
+	DefaultInnocentKillBudget = 2
+	// maxAnalysisRestarts bounds how often a mid-analysis defender
+	// failure is retried before giving up on correlation scoring.
+	maxAnalysisRestarts = 2
 )
 
 // Config parameterizes a Defender. Zero values select the paper's
@@ -67,6 +87,28 @@ type Config struct {
 	// scoring, then summing the per-path maxima). Used by the ablation
 	// study only.
 	DisablePathClassification bool
+
+	// Degradation handling. Zero values select the defaults above;
+	// negative values disable the mechanism.
+
+	// LogReadRetries is how many times a failed evidence read is
+	// retried (0 → DefaultLogReadRetries, negative → no retries).
+	LogReadRetries int
+	// RetryBackoff is the virtual-time wait before the first retry,
+	// doubling per attempt (0 → DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// MinCoverage is the delivered/generated record fraction below
+	// which the defender blends per-uid retained-ref attribution into
+	// its ranking (0 → DefaultMinCoverage, negative → fallback off).
+	MinCoverage float64
+	// InnocentKillBudget bounds force-stops of low-confidence
+	// candidates — scores an order of magnitude under the leader — per
+	// engagement. 0 keeps the paper's unbounded kill loop; positive
+	// allows that many low-confidence kills; negative allows none.
+	InnocentKillBudget int
+	// DisableAdaptiveDelta turns off Δ widening under measured
+	// timestamp jitter.
+	DisableAdaptiveDelta bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +129,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AnalysisCostPerRecord == 0 {
 		c.AnalysisCostPerRecord = 60 * time.Microsecond
+	}
+	if c.LogReadRetries == 0 {
+		c.LogReadRetries = DefaultLogReadRetries
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = DefaultMinCoverage
 	}
 	return c
 }
@@ -117,6 +168,34 @@ type Detection struct {
 	// RawRecords/RawAddTimes are kept only when Config.KeepRaw is set.
 	RawRecords  []binder.IPCRecord
 	RawAddTimes []time.Duration
+
+	// Degradation diagnostics. On the paper's lossless chain these are
+	// ReadRetries=0, ReadFailed=false, AnalysisRestarts=0,
+	// DroppedRecords=0, Coverage=1, EffectiveDelta=Config.Delta,
+	// FallbackUsed=false, GuardStops=0.
+
+	// ReadRetries is how many evidence-read retries this engagement
+	// needed; ReadFailed marks the read never succeeding.
+	ReadRetries int
+	ReadFailed  bool
+	// AnalysisRestarts counts mid-analysis failures that were retried.
+	AnalysisRestarts int
+	// DroppedRecords is how many driver log records were lost (drop
+	// faults + ring overflow) in this engagement's window; Coverage is
+	// the delivered/generated fraction for the same window.
+	DroppedRecords uint64
+	Coverage       float64
+	// EffectiveDelta is the Δ Algorithm 1 actually ran with, after
+	// adaptive widening under measured timestamp jitter.
+	EffectiveDelta time.Duration
+	// FallbackUsed marks that per-uid retained-ref attribution was
+	// blended into Scores; Correlation then preserves the pure
+	// Algorithm-1 ranking (nil when correlation itself failed).
+	FallbackUsed bool
+	Correlation  []AppScore
+	// GuardStops counts kill candidates skipped by the innocent-kill
+	// guard after its budget was exhausted.
+	GuardStops int
 }
 
 // Defender is the JGRE Defender system service.
@@ -126,6 +205,9 @@ type Defender struct {
 
 	monitors map[kernel.Pid]*monitor
 	history  []Detection
+	// lastStats is the driver's telemetry counters at the end of the
+	// previous engagement, delimiting the current evidence window.
+	lastStats binder.LogStats
 	// OnDetection, if set, observes each engagement after recovery.
 	OnDetection func(Detection)
 }
@@ -237,36 +319,86 @@ func (m *monitor) reset() {
 	m.addTimes = nil
 }
 
-// respond runs Algorithm 1 and the recovery loop for this victim.
+// respond runs Algorithm 1 and the recovery loop for this victim,
+// degrading gracefully when the telemetry chain misbehaves: retried
+// evidence reads, skew correction and Δ widening on jittered
+// timestamps, bounded analysis restarts, and retained-ref fallback
+// attribution when too much evidence is missing.
 func (m *monitor) respond() {
 	m.responding = true
 	defer func() { m.responding = false }()
 	d := m.d
 	det := Detection{
-		Victim:    m.proc.Name(),
-		VictimPid: m.proc.Pid(),
-		EngagedAt: d.dev.Clock().Now(),
+		Victim:         m.proc.Name(),
+		VictimPid:      m.proc.Pid(),
+		EngagedAt:      d.dev.Clock().Now(),
+		Coverage:       1,
+		EffectiveDelta: d.cfg.Delta,
 	}
 
-	records, err := d.readRecords(m.proc.Pid())
+	records, err := d.readRecordsWithRetry(&det, m.proc.Pid())
+
+	// Window telemetry health: what fraction of the records the driver
+	// generated since the last engagement actually survived to the file.
+	stats := d.dev.Driver().LogStats()
+	if gen := stats.Seq - d.lastStats.Seq; gen > 0 {
+		delivered := stats.Delivered() - d.lastStats.Delivered()
+		det.DroppedRecords = gen - delivered
+		det.Coverage = float64(delivered) / float64(gen)
+	}
+
+	scored := false
 	if err == nil {
 		det.Records = len(records)
+		records = correctSkew(records, det.EngagedAt)
+		det.EffectiveDelta = d.effectiveDelta(records)
 		start := d.dev.Clock().Now()
 		d.chargeAnalysis(records)
-		det.Scores = d.Score(records, m.addTimes)
+		if d.surviveAnalysisFaults(&det) {
+			det.Scores = d.ScoreWithDelta(records, m.addTimes, det.EffectiveDelta)
+			scored = true
+		}
 		det.AnalysisTime = d.dev.Clock().Now() - start
 		if d.cfg.KeepRaw {
 			det.RawRecords = append([]binder.IPCRecord(nil), records...)
 			det.RawAddTimes = append([]time.Duration(nil), m.addTimes...)
 		}
+	} else {
+		det.ReadFailed = true
+	}
+
+	// Fallback attribution: when the evidence was unreadable, analysis
+	// kept dying, or too little of the stream survived, the correlation
+	// ranking cannot be trusted on its own — blend in the driver's
+	// ground-truth view of who is pinning the victim's JGR table.
+	if d.cfg.MinCoverage > 0 && (!scored || det.Coverage < d.cfg.MinCoverage) {
+		det.Correlation = det.Scores
+		det.Scores = d.fallbackScores(m.proc.Pid(), det.Correlation, det.Coverage, scored)
+		det.FallbackUsed = true
 	}
 
 	// Recovery: force-stop top-ranked apps until the victim's table is
 	// back under the alarm threshold (§V-A phase 3). Death recipients
-	// release the killed apps' retained entries synchronously.
+	// release the killed apps' retained entries synchronously. The
+	// innocent-kill guard bounds how many low-confidence candidates —
+	// scores an order of magnitude under the leader — may be stopped.
+	lowBudget := d.cfg.InnocentKillBudget // >0 bounded, 0 unbounded, <0 none
+	guarded := lowBudget != 0
+	if lowBudget < 0 {
+		lowBudget = 0
+	}
+	var top int64
+	if len(det.Scores) > 0 {
+		top = det.Scores[0].Score
+	}
 	for _, s := range det.Scores {
 		if m.proc.VM().GlobalRefCount()-m.baseline <= d.cfg.AlarmThreshold {
 			break
+		}
+		lowConfidence := s.Score*10 < top
+		if lowConfidence && guarded && lowBudget == 0 {
+			det.GuardStops++
+			continue
 		}
 		app := d.dev.Apps().ByUid(s.Uid)
 		if app == nil || !app.Running() {
@@ -274,16 +406,150 @@ func (m *monitor) respond() {
 		}
 		app.ForceStop("jgre-defender")
 		det.Killed = append(det.Killed, s.Package)
+		if lowConfidence && guarded {
+			lowBudget--
+		}
 	}
 	det.Recovered = m.proc.VM().GlobalRefCount()-m.baseline <= d.cfg.AlarmThreshold
 	if m.proc.Alive() {
 		m.reset()
 	}
 	_ = d.dev.Driver().TruncateLog()
+	d.lastStats = d.dev.Driver().LogStats()
 	d.history = append(d.history, det)
 	if d.OnDetection != nil {
 		d.OnDetection(det)
 	}
+}
+
+// readRecordsWithRetry reads the victim's evidence window, retrying
+// failed reads with doubling virtual-time backoff.
+func (d *Defender) readRecordsWithRetry(det *Detection, victim kernel.Pid) ([]binder.IPCRecord, error) {
+	backoff := d.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		records, err := d.readRecords(victim)
+		if err == nil {
+			return records, nil
+		}
+		if attempt >= d.cfg.LogReadRetries {
+			return nil, err
+		}
+		det.ReadRetries++
+		d.dev.Clock().Advance(backoff)
+		backoff *= 2
+	}
+}
+
+// surviveAnalysisFaults burns injected mid-analysis failures, charging
+// each died run's base cost, and reports whether a run completed within
+// the restart budget.
+func (d *Defender) surviveAnalysisFaults(det *Detection) bool {
+	in := d.dev.FaultInjector()
+	if in == nil {
+		return true
+	}
+	for attempt := 0; attempt <= maxAnalysisRestarts; attempt++ {
+		if !in.AnalysisFault() {
+			return true
+		}
+		det.AnalysisRestarts++
+		d.dev.Clock().Advance(d.cfg.AnalysisCostBase)
+	}
+	return false
+}
+
+// correctSkew pulls a clock-skewed evidence window back into the
+// defender's time domain: no kernel log record can postdate the read
+// that returned it, so any overshoot is skew, and subtracting it
+// restores the IPC→JGR delays Algorithm 1 correlates on.
+func correctSkew(records []binder.IPCRecord, now time.Duration) []binder.IPCRecord {
+	var maxT time.Duration
+	for _, r := range records {
+		if r.Time > maxT {
+			maxT = r.Time
+		}
+	}
+	over := maxT - now
+	if over <= 0 {
+		return records
+	}
+	out := make([]binder.IPCRecord, len(records))
+	for i, r := range records {
+		r.Time -= over
+		out[i] = r
+	}
+	return out
+}
+
+// effectiveDelta widens Δ under measured timestamp jitter. The log is
+// written in sequence order on one monotonic clock, so any adjacent
+// time inversion is pure timestamp noise; the largest inversion bounds
+// (twice) the per-record perturbation, and widening Δ by it keeps the
+// true delay inside the correlation window. On a healthy chain the
+// measurement is zero and Δ is untouched.
+func (d *Defender) effectiveDelta(records []binder.IPCRecord) time.Duration {
+	if d.cfg.DisableAdaptiveDelta {
+		return d.cfg.Delta
+	}
+	var inversion time.Duration
+	for i := 1; i < len(records); i++ {
+		if records[i].Seq > records[i-1].Seq {
+			if back := records[i-1].Time - records[i].Time; back > inversion {
+				inversion = back
+			}
+		}
+	}
+	if inversion == 0 {
+		return d.cfg.Delta
+	}
+	eff := d.cfg.Delta + 2*inversion
+	if eff > d.cfg.MaxDelay {
+		eff = d.cfg.MaxDelay
+	}
+	return eff
+}
+
+// fallbackScores builds the degraded ranking: the driver's per-uid
+// retained-reference attribution (ground truth about who is pinning the
+// victim's table right now), blended with whatever correlation evidence
+// survived, weighted by its coverage. With no usable correlation the
+// ranking is attribution alone.
+func (d *Defender) fallbackScores(victim kernel.Pid, corr []AppScore, coverage float64, scored bool) []AppScore {
+	attr := d.dev.Driver().AttributeRetainedRefs(victim)
+	merged := make(map[kernel.Uid]*AppScore, len(attr))
+	for uid, n := range attr {
+		s := &AppScore{Uid: uid, Score: int64(n), ByType: map[string]int64{"driver.retained_refs": int64(n)}}
+		if a := d.dev.Apps().ByUid(uid); a != nil {
+			s.Package = a.Package()
+		}
+		merged[uid] = s
+	}
+	if scored && coverage > 0 {
+		for _, c := range corr {
+			weighted := int64(coverage * float64(c.Score))
+			if weighted == 0 {
+				continue
+			}
+			s, ok := merged[c.Uid]
+			if !ok {
+				s = &AppScore{Uid: c.Uid, Package: c.Package, ByType: make(map[string]int64)}
+				merged[c.Uid] = s
+			}
+			s.Score += weighted
+			s.ByType["algorithm1.weighted"] = weighted
+		}
+	}
+	out := make([]AppScore, 0, len(merged))
+	for _, s := range merged {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Uid < out[j].Uid
+	})
+	return out
 }
 
 // readRecords flushes the driver log and returns the records aimed at the

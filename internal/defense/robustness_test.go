@@ -40,8 +40,9 @@ func TestLMKCannotStopJGRE(t *testing.T) {
 
 // TestDefenderSurvivesProcfsLoss injects the failure the defender's
 // evidence pipeline depends on: the procfs log vanishes before
-// engagement. The defender must degrade gracefully (no scores, no kills,
-// no panic) rather than crash the system service.
+// engagement. The hardened defender must exhaust its read retries, mark
+// the read failed, and still recover via retained-ref fallback
+// attribution — the driver's ground truth survives losing the log.
 func TestDefenderSurvivesProcfsLoss(t *testing.T) {
 	dev, err := device.Boot(device.Config{Seed: 34})
 	if err != nil {
@@ -70,14 +71,60 @@ func TestDefenderSurvivesProcfsLoss(t *testing.T) {
 		t.Fatal("defender never engaged")
 	}
 	det := hist[0]
-	if det.Records != 0 || len(det.Scores) != 0 {
-		t.Fatalf("detection produced evidence without a log: %+v", det)
+	if !det.ReadFailed || det.ReadRetries != DefaultLogReadRetries {
+		t.Fatalf("read failure not surfaced: %+v", det)
 	}
-	if len(det.Killed) != 0 {
-		t.Fatalf("defender killed %v without evidence", det.Killed)
+	if det.Records != 0 || len(det.Correlation) != 0 {
+		t.Fatalf("correlation evidence appeared without a log: %+v", det)
 	}
-	if det.Recovered {
-		t.Fatal("recovery claimed without any kills")
+	if !det.FallbackUsed {
+		t.Fatal("fallback attribution not engaged")
+	}
+	if len(det.Killed) != 1 || det.Killed[0] != "com.evil.app" {
+		t.Fatalf("fallback killed %v, want the attacker", det.Killed)
+	}
+	if !det.Recovered {
+		t.Fatal("defender failed to recover via fallback attribution")
+	}
+	if dev.SoftReboots() != 0 {
+		t.Fatal("device rebooted despite fallback recovery")
+	}
+}
+
+// TestDefenderFallbackDisabled pins the pre-hardening behavior behind
+// the MinCoverage<0 switch: no evidence, no kills.
+func TestDefenderFallbackDisabled(t *testing.T) {
+	dev, err := device.Boot(device.Config{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(dev, Config{AlarmThreshold: 300, EngageThreshold: 900, MinCoverage: -1, LogReadRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Kernel().ProcFS().Remove(binder.LogPath, kernel.RootUid); err != nil {
+		t.Fatal(err)
+	}
+	evil, _ := dev.Apps().Install("com.evil.app")
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000 && len(def.History()) == 0; i++ {
+		if err := atk.Step(); err != nil {
+			break
+		}
+	}
+	hist := def.History()
+	if len(hist) == 0 {
+		t.Fatal("defender never engaged")
+	}
+	det := hist[0]
+	if det.ReadRetries != 0 {
+		t.Fatalf("retries despite LogReadRetries=-1: %+v", det)
+	}
+	if det.FallbackUsed || len(det.Scores) != 0 || len(det.Killed) != 0 || det.Recovered {
+		t.Fatalf("disabled fallback still acted: %+v", det)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/art"
 	"repro/internal/binder"
 	"repro/internal/catalog"
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/permissions"
 	"repro/internal/services"
@@ -42,6 +43,12 @@ type Config struct {
 	// Kernel and Driver pass through to the respective layers.
 	Kernel kernel.Config
 	Driver binder.Config
+	// Faults declares the telemetry fault model. The zero value is the
+	// paper's lossless chain. Boot derives the injector from this and
+	// Seed, so BootConfig round trips cleanly: the stored config never
+	// carries injector state, and a re-boot gets a fresh injector making
+	// the same seeded decisions.
+	Faults faults.Config
 	// BaselineProcesses is the stock-Android process count to simulate;
 	// 0 means DefaultBaselineProcesses.
 	BaselineProcesses int
@@ -140,7 +147,17 @@ func Boot(cfg Config) (*Device, error) {
 		}
 		d.journal.Add(d.clock.Now(), kind, p.Name(), reason)
 	})
-	d.driver = binder.New(d.kern, cfg.Driver)
+	dcfg := cfg.Driver
+	if cfg.Faults.Enabled() {
+		if dcfg.Faults != nil {
+			return nil, fmt.Errorf("device: both Config.Faults and Driver.Faults set")
+		}
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		dcfg.Faults = faults.New(cfg.Faults, cfg.Seed)
+	}
+	d.driver = binder.New(d.kern, dcfg)
 	d.sm = binder.NewServiceManager(d.driver)
 	d.perms = permissions.NewManager()
 	for p, l := range catalog.PermissionLevels {
@@ -354,6 +371,10 @@ func (d *Device) Kernel() *kernel.Kernel { return d.kern }
 
 // Driver returns the binder driver.
 func (d *Device) Driver() *binder.Driver { return d.driver }
+
+// FaultInjector returns the telemetry fault injector, nil on an
+// unfaulted device.
+func (d *Device) FaultInjector() *faults.Injector { return d.driver.FaultInjector() }
 
 // ServiceManager returns the binder registry.
 func (d *Device) ServiceManager() *binder.ServiceManager { return d.sm }

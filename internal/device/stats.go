@@ -22,6 +22,13 @@ type Stats struct {
 	SystemServerPeakJGR int
 	JGRCap              int
 	Transactions        uint64
+	// IPC-log telemetry health (see binder.LogStats): how many records
+	// the extended driver generated, how many were lost to injected
+	// drops or ring overflow, and how many log reads failed.
+	IPCLogSeq         uint64
+	IPCLogDropped     uint64
+	IPCLogRingDropped uint64
+	IPCLogReadErrors  uint64
 }
 
 // Stats snapshots the device.
@@ -32,6 +39,7 @@ func (d *Device) Stats() Stats {
 			running++
 		}
 	}
+	ls := d.driver.LogStats()
 	return Stats{
 		UptimeSeconds:       d.clock.Now().Seconds(),
 		Processes:           d.kern.RunningCount(),
@@ -43,6 +51,10 @@ func (d *Device) Stats() Stats {
 		SystemServerPeakJGR: d.systemServer.VM().PeakGlobalRefCount(),
 		JGRCap:              d.systemServer.VM().MaxGlobal(),
 		Transactions:        d.driver.TotalTransactions(),
+		IPCLogSeq:           ls.Seq,
+		IPCLogDropped:       ls.DroppedRate,
+		IPCLogRingDropped:   ls.DroppedRing,
+		IPCLogReadErrors:    ls.ReadErrors,
 	}
 }
 
@@ -55,6 +67,10 @@ func (d *Device) DumpState(w io.Writer) {
 		s.Processes, s.RunningApps, s.Services, s.SoftReboots, s.LMKKills)
 	fmt.Fprintf(w, "  system_server JGR: %d / %d (peak %d)  binder transactions: %d\n",
 		s.SystemServerJGR, s.JGRCap, s.SystemServerPeakJGR, s.Transactions)
+	if s.IPCLogSeq > 0 {
+		fmt.Fprintf(w, "  ipc log: %d records, %d dropped, %d ring-evicted, %d read errors\n",
+			s.IPCLogSeq, s.IPCLogDropped, s.IPCLogRingDropped, s.IPCLogReadErrors)
+	}
 
 	type svcLoad struct {
 		name    string

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// DegradationAxes are the fault dimensions DegradationSweep accepts.
+var DegradationAxes = []string{"drop", "jitter", "ring"}
+
+// DegPoint is one point of a degradation sweep: a fault configuration and
+// the defender's aggregate behaviour under it.
+type DegPoint struct {
+	// Label is the axis value ("drop=0.50", "jitter=5ms", "ring=256").
+	Label string
+	// Faults is the injected fault model for this point.
+	Faults faults.Config
+	// Trials is how many independent devices this point averaged over.
+	Trials int
+	// Accuracy is the fraction of trials whose first engagement killed the
+	// attacker.
+	Accuracy float64
+	// ScoreRetention is the mean, over trials, of the attacker's
+	// correlation score at this point divided by its score at the
+	// zero-fault point of the same trial seed. The stateless drop model
+	// makes each faulted log a subset of the clean one, so along the drop
+	// axis this is monotone non-increasing by construction.
+	ScoreRetention float64
+	// MeanCoverage is the mean delivered/generated record ratio over the
+	// engagement windows.
+	MeanCoverage float64
+	// MeanResponseDelayMicros is the mean source-identification delay
+	// (Detection.AnalysisTime), in virtual microseconds.
+	MeanResponseDelayMicros float64
+	// FallbackTrials counts trials where the defender abandoned
+	// correlation for retained-ref attribution.
+	FallbackTrials int
+	// InnocentKills is the worst-case (max over trials) number of
+	// non-attacker apps killed in the first engagement.
+	InnocentKills int
+	// GuardStops totals the low-confidence kills the innocent-kill guard
+	// refused across trials.
+	GuardStops int
+}
+
+// DegradationResult is one axis of the robustness study: defender accuracy
+// and response behaviour as one fault dimension worsens.
+type DegradationResult struct {
+	Axis string
+	// InnocentKillBound is the guard budget every trial ran under; no
+	// point may exceed it in InnocentKills.
+	InnocentKillBound int
+	Points            []DegPoint
+}
+
+// degAxisPoints returns the fault configurations swept along one axis,
+// worst last. Every axis starts from the zero-fault configuration so the
+// first point doubles as the per-trial retention baseline.
+func degAxisPoints(axis string) ([]faults.Config, []string, error) {
+	switch axis {
+	case "drop":
+		var cfgs []faults.Config
+		var labels []string
+		for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+			cfgs = append(cfgs, faults.Config{DropRate: r})
+			labels = append(labels, fmt.Sprintf("drop=%.2f", r))
+		}
+		return cfgs, labels, nil
+	case "jitter":
+		var cfgs []faults.Config
+		var labels []string
+		for _, j := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+			cfgs = append(cfgs, faults.Config{MaxJitter: j})
+			labels = append(labels, fmt.Sprintf("jitter=%v", j))
+		}
+		return cfgs, labels, nil
+	case "ring":
+		// 0 is the unbounded kernel buffer; smaller rings evict more.
+		var cfgs []faults.Config
+		var labels []string
+		for _, n := range []int{0, 4096, 1024, 256, 64} {
+			cfgs = append(cfgs, faults.Config{RingCapacity: n})
+			labels = append(labels, fmt.Sprintf("ring=%d", n))
+		}
+		return cfgs, labels, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown degradation axis %q (want drop, jitter or ring)", axis)
+	}
+}
+
+// degOutcome is one trial's raw measurements, before per-point reduction.
+type degOutcome struct {
+	point, trial  int
+	killed        bool
+	attackerScore int64
+	coverage      float64
+	analysisTime  time.Duration
+	fallback      bool
+	innocentKills int
+	guardStops    int
+}
+
+// DegradationSweep measures how gracefully the defender degrades as one
+// telemetry fault dimension worsens: record drop rate, timestamp jitter,
+// or kernel ring-buffer size. Each (point, trial) pair boots its own
+// device (seed 900+trial — the same seed across points, so the stateless
+// drop model makes every faulted log a subset of the clean trial's log and
+// the drop axis degrades monotonically by construction). Every trial runs
+// the benign population plus one attacker, under the innocent-kill guard
+// (budget defense.DefaultInnocentKillBudget), and stops at the first
+// engagement. Results are identical for any worker count.
+func DegradationSweep(ctx context.Context, scale Scale, axis string, workers int) (*DegradationResult, error) {
+	cfgs, labels, err := degAxisPoints(axis)
+	if err != nil {
+		return nil, err
+	}
+	trials, population := 2, 15
+	if scale == Full {
+		trials, population = 4, 40
+	}
+	type shard struct{ point, trial int }
+	var shards []shard
+	for p := range cfgs {
+		for t := 0; t < trials; t++ {
+			shards = append(shards, shard{point: p, trial: t})
+		}
+	}
+	outcomes, err := parallel.Map(ctx, shards, workers, func(_ context.Context, _ int, s shard) (degOutcome, error) {
+		out, err := degTrialOnce(scale, s.trial, population, cfgs[s.point])
+		if err != nil {
+			return degOutcome{}, fmt.Errorf("experiments: degradation %s trial %d: %w", labels[s.point], s.trial, err)
+		}
+		out.point, out.trial = s.point, s.trial
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-trial retention baselines come from point 0 (zero faults).
+	baseline := make([]int64, trials)
+	for _, o := range outcomes {
+		if o.point == 0 {
+			baseline[o.trial] = o.attackerScore
+		}
+	}
+	res := &DegradationResult{Axis: axis, InnocentKillBound: defense.DefaultInnocentKillBudget}
+	for p := range cfgs {
+		pt := DegPoint{Label: labels[p], Faults: cfgs[p], Trials: trials}
+		var retention, coverage, delay float64
+		for _, o := range outcomes {
+			if o.point != p {
+				continue
+			}
+			if o.killed {
+				pt.Accuracy++
+			}
+			if baseline[o.trial] > 0 {
+				retention += float64(o.attackerScore) / float64(baseline[o.trial])
+			}
+			coverage += o.coverage
+			delay += float64(o.analysisTime) / float64(time.Microsecond)
+			if o.fallback {
+				pt.FallbackTrials++
+			}
+			if o.innocentKills > pt.InnocentKills {
+				pt.InnocentKills = o.innocentKills
+			}
+			pt.GuardStops += o.guardStops
+		}
+		pt.Accuracy /= float64(trials)
+		pt.ScoreRetention = retention / float64(trials)
+		pt.MeanCoverage = coverage / float64(trials)
+		pt.MeanResponseDelayMicros = delay / float64(trials)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// degTrialOnce runs one faulted engagement: benign population plus one
+// attacker on a fast vulnerable interface, defender with the innocent-kill
+// guard engaged, until the first detection.
+func degTrialOnce(scale Scale, trial, population int, fcfg faults.Config) (degOutcome, error) {
+	dev, err := device.Boot(device.Config{Seed: int64(900 + trial), Faults: fcfg})
+	if err != nil {
+		return degOutcome{}, err
+	}
+	cfg := defenseThresholds(scale)
+	cfg.InnocentKillBudget = defense.DefaultInnocentKillBudget
+	def, err := defense.New(dev, cfg)
+	if err != nil {
+		return degOutcome{}, err
+	}
+	sched := workload.NewScheduler(dev)
+	if _, err := workload.Population(dev, sched, population, int64(trial), 2*time.Second); err != nil {
+		return degOutcome{}, err
+	}
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		return degOutcome{}, err
+	}
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		return degOutcome{}, err
+	}
+	sched.Add(atk)
+	sched.Run(func() bool { return len(def.History()) > 0 }, 2_000_000)
+	hist := def.History()
+	if len(hist) == 0 {
+		return degOutcome{}, errors.New("defender never engaged")
+	}
+	det := hist[0]
+	out := degOutcome{
+		coverage:     det.Coverage,
+		analysisTime: det.AnalysisTime,
+		fallback:     det.FallbackUsed,
+		guardStops:   det.GuardStops,
+	}
+	// The retention metric tracks Algorithm 1's evidence quality, so read
+	// the correlation ranking even when the kill decision fell back to
+	// retained-ref attribution.
+	scores := det.Scores
+	if det.FallbackUsed {
+		scores = det.Correlation
+	}
+	for _, s := range scores {
+		if s.Package == "com.evil.app" {
+			out.attackerScore = s.Score
+		}
+	}
+	for _, k := range det.Killed {
+		if k == "com.evil.app" {
+			out.killed = true
+		} else {
+			out.innocentKills++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDegradationDropAxisMonotone pins the sweep's by-construction
+// guarantee: because every faulted log is a seq-keyed subset of the clean
+// trial's log, both the attacker's score retention and the detection
+// accuracy can only degrade as the drop rate rises.
+func TestDegradationDropAxisMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep is slow")
+	}
+	res, err := DegradationSweep(context.Background(), Quick, "drop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("%d points, want 5", len(res.Points))
+	}
+	p0 := res.Points[0]
+	if p0.Accuracy != 1 || p0.ScoreRetention != 1 || p0.MeanCoverage != 1 {
+		t.Fatalf("zero-fault point not clean: %+v", p0)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		prev, cur := res.Points[i-1], res.Points[i]
+		if cur.ScoreRetention > prev.ScoreRetention {
+			t.Fatalf("score retention rose with drop rate: %s %.3f -> %s %.3f",
+				prev.Label, prev.ScoreRetention, cur.Label, cur.ScoreRetention)
+		}
+		if cur.Accuracy > prev.Accuracy {
+			t.Fatalf("accuracy rose with drop rate: %s %.2f -> %s %.2f",
+				prev.Label, prev.Accuracy, cur.Label, cur.Accuracy)
+		}
+		if cur.MeanCoverage > prev.MeanCoverage {
+			t.Fatalf("coverage rose with drop rate: %s %.3f -> %s %.3f",
+				prev.Label, prev.MeanCoverage, cur.Label, cur.MeanCoverage)
+		}
+	}
+	worst := res.Points[len(res.Points)-1]
+	if worst.FallbackTrials == 0 {
+		t.Fatal("90% drops never triggered the attribution fallback")
+	}
+	if worst.Accuracy == 0 {
+		t.Fatal("defender lost the attacker entirely at the worst point; fallback should hold accuracy")
+	}
+}
+
+// TestDegradationInnocentKillBound: no sweep point, on any axis, may kill
+// more bystanders than the configured guard budget.
+func TestDegradationInnocentKillBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("degradation sweep is slow")
+	}
+	for _, axis := range DegradationAxes {
+		res, err := DegradationSweep(context.Background(), Quick, axis, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", axis, err)
+		}
+		if res.InnocentKillBound <= 0 {
+			t.Fatalf("%s: sweep ran without a positive guard budget", axis)
+		}
+		for _, p := range res.Points {
+			if p.InnocentKills > res.InnocentKillBound {
+				t.Fatalf("%s %s: %d innocent kills exceed bound %d",
+					axis, p.Label, p.InnocentKills, res.InnocentKillBound)
+			}
+		}
+	}
+}
+
+// TestDegradationUnknownAxis pins the error path the cmd front end
+// surfaces.
+func TestDegradationUnknownAxis(t *testing.T) {
+	if _, err := DegradationSweep(context.Background(), Quick, "cosmic-rays", 1); err == nil {
+		t.Fatal("unknown axis accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package faults is the deterministic fault-injection layer for the
+// binder/defender telemetry path. The paper's §V defense assumes a
+// perfect evidence chain — every transaction lands in
+// /proc/jgre_ipc_log, timestamps deviate from JGR creation by at most
+// Δ, and Algorithm 1 always runs to completion. Real system services
+// face dropped, reordered and malformed IPC (BinderCracker) and
+// defenses that degrade badly under imperfect observation get bypassed,
+// so the robustness experiments perturb the substrate along five axes:
+// record drops (rate + bursts), bounded ring-buffer overflow, timestamp
+// jitter/clock skew, log-read errors, and mid-analysis defender
+// failures.
+//
+// Every decision is a pure function of (injector seed, record sequence
+// number) or of a monotone per-injector counter, never of wall time or
+// shared PRNG consumption order, so equal device seeds give
+// byte-identical runs for any worker count — the same guarantee the
+// parallel experiment engine makes. Keying record drops on the sequence
+// number alone has a second property the degradation sweeps rely on:
+// for the same seed, the records surviving at drop rate p₂ are a
+// subset of those surviving at p₁ whenever p₁ < p₂, which makes
+// correlation scores provably non-increasing along the drop axis.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInjectedRead is the failure surfaced for an injected log-read
+// fault, standing in for the transient EIO/EAGAIN a real procfs read
+// can return under memory pressure.
+var ErrInjectedRead = errors.New("faults: injected log read failure")
+
+// Config declares the fault model. The zero value reproduces the
+// paper's idealized lossless chain; every field perturbs one axis.
+type Config struct {
+	// DropRate in [0, 1) is the per-record probability that the binder
+	// driver's IPC log write is lost before reaching the procfs file.
+	DropRate float64
+	// BurstEvery / BurstLen inject deterministic loss bursts on top of
+	// DropRate: of every BurstEvery consecutive log sequence numbers,
+	// the first BurstLen are dropped (BurstEvery 0 disables bursts).
+	BurstEvery int
+	BurstLen   int
+	// RingCapacity bounds the driver's pending-record buffer like a
+	// real kernel ring: when full, the oldest record is evicted and the
+	// driver's visible overflow counter increments. 0 means unbounded.
+	RingCapacity int
+	// MaxJitter perturbs each logged timestamp by a per-record offset
+	// drawn uniformly from (-MaxJitter, +MaxJitter]; large values
+	// exceed the defender's Δ and break naive delay correlation.
+	MaxJitter time.Duration
+	// ClockSkew is a constant offset added to every logged timestamp —
+	// the driver's clock domain drifting from the runtime's.
+	ClockSkew time.Duration
+	// ReadFailEvery makes log reads fail deterministically: 1 fails
+	// every read (a persistent fault); n > 1 fails the first read of
+	// every n (so a retry lands on a healthy read). 0 never fails.
+	ReadFailEvery int
+	// AnalysisFailEvery kills the defender's Algorithm-1 run mid-flight
+	// with the same cadence as ReadFailEvery: 1 always, n > 1 the first
+	// of every n attempts, 0 never.
+	AnalysisFailEvery int
+}
+
+// Enabled reports whether any fault axis is active.
+func (c Config) Enabled() bool { return c != (Config{}) }
+
+// Validate rejects configurations outside the model's domain.
+func (c Config) Validate() error {
+	if c.DropRate < 0 || c.DropRate >= 1 {
+		return fmt.Errorf("faults: DropRate %v outside [0, 1)", c.DropRate)
+	}
+	if c.BurstEvery < 0 || c.BurstLen < 0 || (c.BurstEvery > 0 && c.BurstLen >= c.BurstEvery) {
+		return fmt.Errorf("faults: burst %d/%d must satisfy 0 <= len < every", c.BurstLen, c.BurstEvery)
+	}
+	if c.RingCapacity < 0 {
+		return fmt.Errorf("faults: negative RingCapacity %d", c.RingCapacity)
+	}
+	if c.MaxJitter < 0 {
+		return fmt.Errorf("faults: negative MaxJitter %v", c.MaxJitter)
+	}
+	if c.ReadFailEvery < 0 || c.AnalysisFailEvery < 0 {
+		return fmt.Errorf("faults: negative failure cadence")
+	}
+	return nil
+}
+
+// Injector makes the per-record and per-attempt fault decisions for one
+// device. It is not safe for concurrent use; like the rest of the
+// simulation core it is driven from a single goroutine per device.
+type Injector struct {
+	cfg      Config
+	seed     uint64
+	reads    uint64
+	analyses uint64
+}
+
+// New builds an injector keyed off the device seed. It panics on an
+// invalid configuration — a programming error in the experiment, caught
+// at boot like the registry's duplicate-registration check.
+func New(cfg Config, deviceSeed int64) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	// Decorrelate from the device's other seed consumers (services and
+	// workloads hash the same seed) with a fixed tweak.
+	return &Injector{cfg: cfg, seed: splitmix(uint64(deviceSeed) ^ 0x6a67726566617568)}
+}
+
+// Config returns the injector's fault model.
+func (in *Injector) Config() Config { return in.cfg }
+
+// RingCapacity returns the bounded log-buffer size (0 = unbounded).
+func (in *Injector) RingCapacity() int { return in.cfg.RingCapacity }
+
+// DropRecord reports whether the log record with sequence number seq is
+// lost. The decision is stateless in seq, so two runs that log the same
+// sequence prefix agree on every drop regardless of what else happened.
+func (in *Injector) DropRecord(seq uint64) bool {
+	if in.cfg.BurstEvery > 0 && int((seq-1)%uint64(in.cfg.BurstEvery)) < in.cfg.BurstLen {
+		return true
+	}
+	if in.cfg.DropRate > 0 && unit(in.seed, seq, 0x01) < in.cfg.DropRate {
+		return true
+	}
+	return false
+}
+
+// LogTimestamp perturbs a record's true timestamp with the configured
+// jitter and clock skew, clamped at zero (the log cannot predate boot).
+func (in *Injector) LogTimestamp(t time.Duration, seq uint64) time.Duration {
+	t += in.cfg.ClockSkew
+	if j := in.cfg.MaxJitter; j > 0 {
+		// Uniform in (-j, +j]: u in [0,1) maps to (2u-1)·j shifted off
+		// the open lower bound.
+		t += time.Duration((2*unit(in.seed, seq, 0x02) - 1) * float64(j))
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// ReadError consumes one log-read attempt and returns the injected
+// failure, if any. Cadence semantics are documented on Config.
+func (in *Injector) ReadError() error {
+	in.reads++
+	if cadenceFault(in.cfg.ReadFailEvery, in.reads) {
+		return ErrInjectedRead
+	}
+	return nil
+}
+
+// AnalysisFault consumes one analysis attempt and reports whether it
+// dies mid-run.
+func (in *Injector) AnalysisFault() bool {
+	in.analyses++
+	return cadenceFault(in.cfg.AnalysisFailEvery, in.analyses)
+}
+
+// cadenceFault implements the shared failure cadence: every=1 always
+// fails, every=n>1 fails the first attempt of each n, every=0 never.
+func cadenceFault(every int, attempt uint64) bool {
+	if every <= 0 {
+		return false
+	}
+	if every == 1 {
+		return true
+	}
+	return attempt%uint64(every) == 1
+}
+
+// unit hashes (seed, seq, salt) to a uniform float64 in [0, 1).
+func unit(seed, seq, salt uint64) float64 {
+	h := splitmix(seed ^ splitmix(seq) ^ salt)
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix is the splitmix64 finalizer — a full-avalanche hash, so
+// consecutive sequence numbers give uncorrelated decisions.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{}, 42)
+	for seq := uint64(1); seq <= 10000; seq++ {
+		if in.DropRecord(seq) {
+			t.Fatalf("seq %d dropped with zero config", seq)
+		}
+		if got := in.LogTimestamp(time.Duration(seq)*time.Millisecond, seq); got != time.Duration(seq)*time.Millisecond {
+			t.Fatalf("seq %d timestamp perturbed with zero config", seq)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := in.ReadError(); err != nil {
+			t.Fatal("read error with zero config")
+		}
+		if in.AnalysisFault() {
+			t.Fatal("analysis fault with zero config")
+		}
+	}
+	if in.RingCapacity() != 0 {
+		t.Fatal("ring bounded with zero config")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	cfg := Config{DropRate: 0.3, MaxJitter: 2 * time.Millisecond, ReadFailEvery: 3, AnalysisFailEvery: 2}
+	a, b := New(cfg, 7), New(cfg, 7)
+	for seq := uint64(1); seq <= 5000; seq++ {
+		if a.DropRecord(seq) != b.DropRecord(seq) {
+			t.Fatalf("drop decision diverged at seq %d", seq)
+		}
+		if a.LogTimestamp(time.Second, seq) != b.LogTimestamp(time.Second, seq) {
+			t.Fatalf("jitter diverged at seq %d", seq)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		ea, eb := a.ReadError(), b.ReadError()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("read fault cadence diverged at attempt %d", i)
+		}
+		if a.AnalysisFault() != b.AnalysisFault() {
+			t.Fatalf("analysis fault cadence diverged at attempt %d", i)
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	cfg := Config{DropRate: 0.5}
+	a, b := New(cfg, 1), New(cfg, 2)
+	same := 0
+	for seq := uint64(1); seq <= 1000; seq++ {
+		if a.DropRecord(seq) == b.DropRecord(seq) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+// TestDropSubsetAcrossRates pins the property the degradation sweeps
+// rely on: with a fixed seed, every record dropped at rate p1 is also
+// dropped at any rate p2 >= p1, so surviving evidence shrinks
+// monotonically along the drop axis.
+func TestDropSubsetAcrossRates(t *testing.T) {
+	rates := []float64{0.1, 0.25, 0.5, 0.75, 0.95}
+	for i := 1; i < len(rates); i++ {
+		lo := New(Config{DropRate: rates[i-1]}, 11)
+		hi := New(Config{DropRate: rates[i]}, 11)
+		for seq := uint64(1); seq <= 20000; seq++ {
+			if lo.DropRecord(seq) && !hi.DropRecord(seq) {
+				t.Fatalf("seq %d dropped at %.2f but kept at %.2f", seq, rates[i-1], rates[i])
+			}
+		}
+	}
+}
+
+func TestDropRateConverges(t *testing.T) {
+	const n = 100000
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		in := New(Config{DropRate: rate}, 3)
+		dropped := 0
+		for seq := uint64(1); seq <= n; seq++ {
+			if in.DropRecord(seq) {
+				dropped++
+			}
+		}
+		got := float64(dropped) / n
+		if math.Abs(got-rate) > 0.01 {
+			t.Errorf("rate %.2f: empirical drop fraction %.4f", rate, got)
+		}
+	}
+}
+
+func TestBurstDrops(t *testing.T) {
+	in := New(Config{BurstEvery: 100, BurstLen: 5}, 9)
+	for seq := uint64(1); seq <= 1000; seq++ {
+		inBurst := (seq-1)%100 < 5
+		if in.DropRecord(seq) != inBurst {
+			t.Fatalf("seq %d: burst drop = %v, want %v", seq, !inBurst, inBurst)
+		}
+	}
+}
+
+func TestJitterBoundedAndClamped(t *testing.T) {
+	j := 3 * time.Millisecond
+	in := New(Config{MaxJitter: j}, 5)
+	sawShift := false
+	for seq := uint64(1); seq <= 5000; seq++ {
+		base := 10 * time.Millisecond
+		got := in.LogTimestamp(base, seq)
+		if got < base-j || got > base+j {
+			t.Fatalf("seq %d: jittered %v outside ±%v of %v", seq, got, j, base)
+		}
+		if got != base {
+			sawShift = true
+		}
+		// Near boot, jitter must clamp at zero rather than go negative.
+		if early := in.LogTimestamp(time.Microsecond, seq); early < 0 {
+			t.Fatalf("seq %d: negative timestamp %v", seq, early)
+		}
+	}
+	if !sawShift {
+		t.Fatal("jitter never moved a timestamp")
+	}
+}
+
+func TestClockSkew(t *testing.T) {
+	in := New(Config{ClockSkew: 5 * time.Millisecond}, 5)
+	if got := in.LogTimestamp(time.Second, 1); got != time.Second+5*time.Millisecond {
+		t.Fatalf("skewed timestamp %v", got)
+	}
+	neg := New(Config{ClockSkew: -5 * time.Millisecond}, 5)
+	if got := neg.LogTimestamp(time.Millisecond, 1); got != 0 {
+		t.Fatalf("negative skew should clamp at 0, got %v", got)
+	}
+}
+
+func TestReadAndAnalysisCadence(t *testing.T) {
+	always := New(Config{ReadFailEvery: 1, AnalysisFailEvery: 1}, 4)
+	for i := 0; i < 10; i++ {
+		if always.ReadError() == nil || !always.AnalysisFault() {
+			t.Fatal("cadence 1 must always fail")
+		}
+	}
+	every3 := New(Config{ReadFailEvery: 3}, 4)
+	var pattern []bool
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, every3.ReadError() != nil)
+	}
+	want := []bool{true, false, false, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("cadence 3 pattern %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DropRate: -0.1},
+		{DropRate: 1.0},
+		{BurstEvery: 4, BurstLen: 4},
+		{RingCapacity: -1},
+		{MaxJitter: -time.Second},
+		{ReadFailEvery: -2},
+	}
+	for _, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("Validate accepted %+v", cfg)
+		}
+	}
+	good := Config{DropRate: 0.99, BurstEvery: 10, BurstLen: 9, RingCapacity: 1, MaxJitter: time.Hour, ClockSkew: -time.Hour}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", good, err)
+	}
+	if !good.Enabled() || (Config{}).Enabled() {
+		t.Error("Enabled misreports")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/catalog"
 	"repro/internal/defense"
+	"repro/internal/device"
 	"repro/internal/experiments"
 )
 
@@ -27,6 +28,10 @@ type Input struct {
 	Pipeline *analysis.PipelineResult
 	// Detections are defender engagements to document.
 	Detections []defense.Detection
+	// Telemetry optionally documents the demo device's IPC-log health
+	// counters (records generated vs. lost to drops, ring eviction and
+	// failed reads) — the evidence-pipeline integrity behind Detections.
+	Telemetry *device.Stats
 	// Thresholds optionally includes the alarm/engage ablation table.
 	Thresholds []experiments.ThresholdRow
 	// Patch optionally includes the §IV-B universal-quota counterfactual.
@@ -57,6 +62,17 @@ func Write(w io.Writer, in Input) error {
 	}
 	if len(in.Detections) > 0 {
 		writeDetections(p, in.Detections)
+	}
+	if in.Telemetry != nil && in.Telemetry.IPCLogSeq > 0 {
+		s := in.Telemetry
+		p("## Telemetry health\n\n")
+		p("| Counter | Value |\n|---|---|\n")
+		p("| IPC-log records generated | %d |\n", s.IPCLogSeq)
+		p("| Lost to injected drops | %d |\n", s.IPCLogDropped)
+		p("| Lost to ring-buffer eviction | %d |\n", s.IPCLogRingDropped)
+		p("| Failed log reads | %d |\n", s.IPCLogReadErrors)
+		p("| Binder transactions total | %d |\n", s.Transactions)
+		p("\n")
 	}
 	if len(in.Thresholds) > 0 {
 		p("## Defender threshold ablation\n\n")
@@ -151,6 +167,15 @@ func writeDetections(p func(string, ...interface{}), dets []defense.Detection) {
 	for i, det := range dets {
 		p("### Engagement %d — victim `%s` at t=%.1fs\n\n", i+1, det.Victim, det.EngagedAt.Seconds())
 		p("- records analysed: %d in %v\n", det.Records, det.AnalysisTime.Round(time.Millisecond))
+		if det.Coverage > 0 && det.Coverage < 1 {
+			p("- telemetry coverage: %.0f%% (%d records lost in the window)\n", 100*det.Coverage, det.DroppedRecords)
+		}
+		if det.ReadFailed || det.ReadRetries > 0 {
+			p("- log reads: %d retried, read failed: %v\n", det.ReadRetries, det.ReadFailed)
+		}
+		if det.FallbackUsed {
+			p("- attribution: retained-ref fallback (correlation evidence below coverage floor)\n")
+		}
 		p("- killed: %s\n", strings.Join(det.Killed, ", "))
 		p("- recovered: %v\n\n", det.Recovered)
 		if len(det.Scores) > 0 {

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"context"
+
+	"repro/internal/experiments"
+)
+
+// GroupRobustness holds the fault-injection degradation studies.
+const GroupRobustness = "robustness"
+
+// degShards counts a degradation sweep's fan-out: one device per
+// (point, trial) pair.
+func degShards(result any) int {
+	res, _ := result.(*experiments.DegradationResult)
+	if res == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range res.Points {
+		n += p.Trials
+	}
+	return n
+}
+
+func init() {
+	axes := []struct {
+		axis, description string
+	}{
+		{"drop", "degradation sweep: defender accuracy and response delay vs. IPC-log record drop rate"},
+		{"jitter", "degradation sweep: defender accuracy vs. log timestamp jitter, with adaptive-Δ widening"},
+		{"ring", "degradation sweep: defender accuracy vs. kernel ring-buffer capacity (oldest-first eviction)"},
+	}
+	for _, a := range axes {
+		axis := a.axis
+		Register(Scenario{
+			Name:           "deg-" + axis,
+			Group:          GroupRobustness,
+			Description:    a.description,
+			Parallelizable: true,
+			Slow:           true,
+			Run: func(ctx context.Context, p Params) (any, error) {
+				return experiments.DegradationSweep(ctx, expScale(p.Scale), axis, p.Workers)
+			},
+			Shards: degShards,
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package scenario
+
+// Suggest returns the registered scenario name closest to the (unknown)
+// name the user typed, or "" when nothing is plausibly close. Closeness is
+// Levenshtein edit distance, capped at 3 edits and at half the typed
+// name's length so short typos still match ("fig → fig3") while garbage
+// does not. Ties break toward the lexicographically smaller name, keeping
+// the suggestion deterministic.
+func Suggest(name string) string {
+	if name == "" {
+		return ""
+	}
+	limit := len(name) / 2
+	if limit > 3 {
+		limit = 3
+	}
+	if limit == 0 {
+		limit = 1
+	}
+	best, bestDist := "", limit+1
+	for _, s := range List() {
+		if d := editDistance(name, s.Name); d < bestDist {
+			best, bestDist = s.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the classic two-row Levenshtein distance.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import "testing"
+
+func TestSuggest(t *testing.T) {
+	cases := []struct {
+		typed, want string
+	}{
+		{"fig33", "fig3"},
+		{"figg8", "fig8"},
+		{"table-1", "table-i"},
+		{"deg-drip", "deg-drop"},
+		{"headlin", "headline"},
+		{"delay", "delays"},
+		{"zzzzzzzzzz", ""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Suggest(c.typed); got != c.want {
+			t.Errorf("Suggest(%q) = %q, want %q", c.typed, got, c.want)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"fig3", "fig3", 0},
+		{"fig3", "fig8", 1},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestRobustnessGroupRegistered: the degradation scenarios must be present
+// and correctly flagged for the registry-driven front ends.
+func TestRobustnessGroupRegistered(t *testing.T) {
+	for _, name := range []string{"deg-drop", "deg-jitter", "deg-ring"} {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if s.Group != GroupRobustness {
+			t.Errorf("%s group = %q, want %q", name, s.Group, GroupRobustness)
+		}
+		if !s.Parallelizable || !s.Slow {
+			t.Errorf("%s flags = parallelizable %v slow %v, want both true", name, s.Parallelizable, s.Slow)
+		}
+		if s.Shards == nil {
+			t.Errorf("%s missing Shards", name)
+		}
+	}
+}
