@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-json ci
+.PHONY: build test vet race fuzz-smoke bench bench-json bench-profile bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,15 @@ bench-json:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
 
-ci: vet build test race fuzz-smoke
+# Profile the sweep engine's hot path. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+bench-profile:
+	$(GO) run ./cmd/jgre-bench -cpuprofile cpu.pprof -memprofile mem.pprof -bench-json -
+
+# One iteration of every micro-benchmark: catches benchmarks that broke
+# (compile errors, fixture failures, b.Fatal) without paying full timing
+# runs in CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/binder ./internal/defense
+
+ci: vet build test race fuzz-smoke bench-smoke

@@ -10,9 +10,11 @@
 // Usage:
 //
 //	jgre-bench [-parallel n] [-sweeps fig3,fig6,...] [-scale quick|full]
-//	           [-bench-json path]
+//	           [-bench-json path] [-cpuprofile path] [-memprofile path]
 //
 // -sweeps defaults to every parallelizable scenario (see jgre-run list).
+// -cpuprofile/-memprofile write pprof profiles covering the sweep runs,
+// for drilling into the simulation hot path (`make bench-profile`).
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -60,11 +63,37 @@ func main() {
 	names := flag.String("sweeps", "", "comma-separated scenarios to time (default: every parallelizable one)")
 	scaleName := flag.String("scale", "quick", "quick or full")
 	jsonPath := flag.String("bench-json", "", "write the report as JSON to this path ('-' or empty prints it)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep runs to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the sweeps) to this path")
 	flag.Parse()
 
 	scale, err := scenario.ParseScale(*scaleName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	want := make(map[string]bool)
 	if *names != "" {

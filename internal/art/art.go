@@ -157,16 +157,19 @@ type refEntry struct {
 	collectable bool
 }
 
-// table is a single indirect reference table.
+// table is a single indirect reference table. Entries are stored by
+// value: a refEntry is three words, so the map holds the slots inline the
+// way ART's IRT segment array does, instead of one heap allocation per
+// reference.
 type table struct {
 	kind    RefKind
 	max     int
 	serial  uint64
-	entries map[IndirectRef]*refEntry
+	entries map[IndirectRef]refEntry
 }
 
 func newTable(kind RefKind, max int) *table {
-	return &table{kind: kind, max: max, entries: make(map[IndirectRef]*refEntry)}
+	return &table{kind: kind, max: max, entries: make(map[IndirectRef]refEntry)}
 }
 
 // Config parameterizes a VM. The zero value selects the AOSP 6.0.1
@@ -202,6 +205,10 @@ type VM struct {
 	globals *table
 	weaks   *table
 	frames  []*table // local reference frame stack
+	// framePool recycles popped local frames (their cleared entry maps
+	// keep their buckets), so the push/pop around every transaction stops
+	// allocating once the frame stack has reached its working depth.
+	framePool []*table
 
 	hooks         []JGRHook
 	collectable   int
@@ -321,7 +328,7 @@ func (vm *VM) AddGlobalRef(obj *Object) (IndirectRef, error) {
 	}
 	vm.globals.serial++
 	ref := makeRef(KindGlobal, vm.globals.serial)
-	vm.globals.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	vm.globals.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
 	vm.totalGlobalAdds++
 	if n := len(vm.globals.entries); n > vm.peakGlobals {
 		vm.peakGlobals = n
@@ -365,6 +372,7 @@ func (vm *VM) MarkCollectable(ref IndirectRef) error {
 		return &StaleRefError{Ref: ref}
 	}
 	e.collectable = true
+	vm.globals.entries[ref] = e
 	vm.collectable++
 	if vm.gcTrigger > 0 && vm.collectable >= vm.gcTrigger {
 		vm.GC()
@@ -410,7 +418,7 @@ func (vm *VM) AddLocalRef(obj *Object) (IndirectRef, error) {
 	}
 	fr.serial++
 	ref := makeRef(KindLocal, fr.serial)
-	fr.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	fr.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
 	return ref, nil
 }
 
@@ -420,6 +428,13 @@ func (vm *VM) AddLocalRef(obj *Object) (IndirectRef, error) {
 // §II-A: "JNI local references ... are automatically freed after the
 // native method returns").
 func (vm *VM) PushLocalFrame() {
+	if n := len(vm.framePool); n > 0 {
+		fr := vm.framePool[n-1]
+		vm.framePool[n-1] = nil
+		vm.framePool = vm.framePool[:n-1]
+		vm.frames = append(vm.frames, fr)
+		return
+	}
 	vm.frames = append(vm.frames, newTable(KindLocal, DefaultMaxLocalRefs))
 }
 
@@ -431,8 +446,12 @@ func (vm *VM) PopLocalFrame() int {
 		panic("art: PopLocalFrame on root frame")
 	}
 	top := vm.frames[len(vm.frames)-1]
+	vm.frames[len(vm.frames)-1] = nil
 	vm.frames = vm.frames[:len(vm.frames)-1]
-	return len(top.entries)
+	n := len(top.entries)
+	clear(top.entries)
+	vm.framePool = append(vm.framePool, top)
+	return n
 }
 
 // AddWeakGlobalRef takes a weak global reference on obj.
@@ -450,7 +469,7 @@ func (vm *VM) AddWeakGlobalRef(obj *Object) (IndirectRef, error) {
 	}
 	vm.weaks.serial++
 	ref := makeRef(KindWeakGlobal, vm.weaks.serial)
-	vm.weaks.entries[ref] = &refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
+	vm.weaks.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
 	return ref, nil
 }
 

@@ -100,10 +100,12 @@ func (b *LocalBinder) Transact(code TxCode, data, reply *Parcel) error {
 		return ErrUnknownTransaction
 	}
 	if data == nil {
-		data = NewParcel()
+		data = ObtainParcel()
+		defer data.Recycle()
 	}
 	if reply == nil {
-		reply = NewParcel()
+		reply = ObtainParcel()
+		defer reply.Recycle()
 	}
 	ctx := b.driver.context(b.owner)
 	data.attachReader(ctx)
@@ -116,11 +118,13 @@ func (b *LocalBinder) Transact(code TxCode, data, reply *Parcel) error {
 			vm.PopLocalFrame()
 		}
 	}()
-	return b.handler.OnTransact(&Call{
-		Code: code, Data: data, Reply: reply,
-		SenderPid: b.owner.Pid(), SenderUid: b.owner.Uid(),
-		Target: b,
-	})
+	c := obtainCall()
+	c.Code, c.Data, c.Reply = code, data, reply
+	c.SenderPid, c.SenderUid = b.owner.Pid(), b.owner.Uid()
+	c.Target = b
+	err := b.handler.OnTransact(c)
+	recycleCall(c)
+	return err
 }
 
 // LinkToDeath on a local binder is rejected: the owner cannot outlive

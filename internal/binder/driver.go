@@ -2,8 +2,10 @@ package binder
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/art"
@@ -194,7 +196,7 @@ func (c *procContext) materialize(b IBinder) (*BinderRef, error) {
 		return existing, nil
 	}
 	px := &proxy{driver: c.driver, node: n, holder: c.proc}
-	obj := &art.Object{ID: c.driver.nextObjectID(), Class: "android.os.BinderProxy"}
+	obj := c.driver.scratch(c.driver.nextObjectID(), "android.os.BinderProxy")
 	jgr, err := c.proc.VM().AddGlobalRef(obj)
 	if err != nil {
 		// The reading process just exhausted its own JGR table; its
@@ -238,9 +240,18 @@ type Driver struct {
 	nodesByOwner map[kernel.Pid][]*node
 	ctxs         map[kernel.Pid]*procContext
 
-	logging      bool
-	logSeq       uint64
-	pendingLog   []IPCRecord
+	logging bool
+	logSeq  uint64
+	// pending buffers records between flushes (bounded when the fault
+	// injector models a kernel ring); flushed is the procfs file's
+	// contents in native struct form, seq-ascending, with byPid/byUid
+	// holding positions into it so window reads are indexed instead of
+	// scanning every record. The text /proc format is rendered lazily
+	// from flushed only when the file itself is read.
+	pending      logRing
+	flushed      []IPCRecord
+	byPid        map[kernel.Pid][]int
+	byUid        map[kernel.Uid][]int
 	totalTx      uint64
 	totalLogged  uint64
 	droppedFault uint64
@@ -248,6 +259,13 @@ type Driver struct {
 	readErrs     uint64
 	procfsOpened bool
 	statsOpened  bool
+
+	// scratchObj is the reusable Object header for the JGR-hook emit
+	// path: art tables copy the object id out of the header, so the
+	// driver's hot allocations (proxy materialization, owner-side pins,
+	// transient local refs) can share one header instead of allocating a
+	// fresh Object per reference.
+	scratchObj art.Object
 }
 
 type clockIface interface {
@@ -288,6 +306,8 @@ func New(k *kernel.Kernel, cfg Config) *Driver {
 		nodeByBinder: make(map[*LocalBinder]*node),
 		nodesByOwner: make(map[kernel.Pid][]*node),
 		ctxs:         make(map[kernel.Pid]*procContext),
+		byPid:        make(map[kernel.Pid][]int),
+		byUid:        make(map[kernel.Uid][]int),
 	}
 	k.OnKill(func(p *kernel.Process, _ string) { d.onProcessDeath(p) })
 	return d
@@ -304,6 +324,15 @@ func (d *Driver) TotalTransactions() uint64 { return d.totalTx }
 func (d *Driver) nextObjectID() art.ObjectID {
 	d.nextObj++
 	return d.nextObj
+}
+
+// scratch fills the driver's reusable Object header. The art tables copy
+// the id out of the header on Add*, so the pointer may be reused for the
+// next reference as soon as the call returns; the driver is
+// single-threaded per device, making one header per driver safe.
+func (d *Driver) scratch(id art.ObjectID, class string) *art.Object {
+	d.scratchObj = art.Object{ID: id, Class: class}
+	return &d.scratchObj
 }
 
 // NewLocalBinder creates a binder object owned by proc. handler may be nil
@@ -368,7 +397,7 @@ func (d *Driver) ensureNode(lb *LocalBinder) *node {
 func (d *Driver) addRemoteRef(n *node) {
 	n.remoteRefs++
 	if n.remoteRefs == 1 && !n.dead && n.owner.Alive() && n.ownerJGR == 0 {
-		obj := &art.Object{ID: d.nextObjectID(), Class: n.local.class}
+		obj := d.scratch(d.nextObjectID(), n.local.class)
 		jgr, err := n.owner.VM().AddGlobalRef(obj)
 		if err != nil {
 			// The owner exhausted its own table (e.g. an attacker
@@ -401,10 +430,12 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 		return fmt.Errorf("binder: transaction from dead process %s", from.Name())
 	}
 	if data == nil {
-		data = NewParcel()
+		data = ObtainParcel()
+		defer data.Recycle()
 	}
 	if reply == nil {
-		reply = NewParcel()
+		reply = ObtainParcel()
+		defer reply.Recycle()
 	}
 	size := data.SizeBytes()
 	if size > MaxTransactionBytes {
@@ -423,22 +454,36 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 		if in := d.cfg.Faults; in != nil && in.DropRecord(d.logSeq) {
 			d.droppedFault++
 		} else {
+			// Fault-order pin: the jittered timestamp is a pure function
+			// of (clock, seq), fixed BEFORE the ring decides whether this
+			// append evicts, and eviction (droppedRing) happens before the
+			// append is counted (totalLogged). Eviction therefore can
+			// never perturb a surviving record's timestamp, and the
+			// counters reconcile as Seq = Logged + DroppedRate,
+			// Delivered = Logged - DroppedRing (pinned by
+			// TestFaultOrderPinned).
 			t := d.clock.Now()
 			if in != nil {
 				t = in.LogTimestamp(t, d.logSeq)
 			}
-			if in != nil && in.RingCapacity() > 0 && len(d.pendingLog) >= in.RingCapacity() {
-				// Bounded ring: evict the oldest unflushed record and
-				// count the overflow, like a real kernel ring buffer.
-				copy(d.pendingLog, d.pendingLog[1:])
-				d.pendingLog = d.pendingLog[:len(d.pendingLog)-1]
-				d.droppedRing++
+			// The /proc text codec records microseconds; truncating here
+			// keeps the struct records handed to readers bit-identical
+			// with what a String/Parse round-trip of the rendered file
+			// would produce.
+			t -= t % time.Microsecond
+			capacity := 0
+			if in != nil {
+				capacity = in.RingCapacity()
 			}
-			d.pendingLog = append(d.pendingLog, IPCRecord{
+			if d.pending.push(IPCRecord{
 				Seq: d.logSeq, Time: t,
 				FromPid: from.Pid(), FromUid: from.Uid(),
 				ToPid: n.owner.Pid(), Handle: n.handle, Code: code, Size: size,
-			})
+			}, capacity) {
+				// Bounded ring: the oldest unflushed record was evicted,
+				// like a real kernel ring buffer overflow.
+				d.droppedRing++
+			}
 			d.totalLogged++
 		}
 	}
@@ -473,11 +518,25 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 			vm.PopLocalFrame()
 		}
 	}()
-	return n.local.handler.OnTransact(&Call{
-		Code: code, Data: data, Reply: reply,
-		SenderPid: from.Pid(), SenderUid: from.Uid(),
-		Target: n.local,
-	})
+	c := obtainCall()
+	c.Code, c.Data, c.Reply = code, data, reply
+	c.SenderPid, c.SenderUid = from.Pid(), from.Uid()
+	c.Target = n.local
+	err := n.local.handler.OnTransact(c)
+	recycleCall(c)
+	return err
+}
+
+// callPool recycles Call frames across transactions. Handlers must not
+// retain the *Call past OnTransact — the same contract Binder.onTransact
+// has with its transaction buffers.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+func obtainCall() *Call { return callPool.Get().(*Call) }
+
+func recycleCall(c *Call) {
+	*c = Call{}
+	callPool.Put(c)
 }
 
 // linkToDeath implements proxy.LinkToDeath.
@@ -486,7 +545,7 @@ func (d *Driver) linkToDeath(p *proxy, fn func()) (*DeathLink, error) {
 		return nil, ErrDeadObject
 	}
 	holder := d.context(p.holder)
-	obj := &art.Object{ID: d.nextObjectID(), Class: "android.os.Binder$JavaDeathRecipient"}
+	obj := d.scratch(d.nextObjectID(), "android.os.Binder$JavaDeathRecipient")
 	jgr, err := holder.proc.VM().AddGlobalRef(obj)
 	if err != nil {
 		return nil, fmt.Errorf("binder: linkToDeath in %s: %w", holder.proc.Name(), err)
@@ -538,9 +597,13 @@ func (d *Driver) onProcessDeath(p *kernel.Process) {
 
 // EnableIPCLogging turns on transaction recording, creating the kernel-
 // only procfs log file and its telemetry-stats companion. Idempotent.
+// The log file is provider-backed: the driver keeps flushed records as
+// structs and renders the text /proc format only when the file itself is
+// read, so struct consumers (the defender, dumpsys) never pay for the
+// format/parse round trip.
 func (d *Driver) EnableIPCLogging() error {
 	if !d.procfsOpened {
-		if err := d.k.ProcFS().Create(LogPath, kernel.RootUid, false); err != nil {
+		if err := d.k.ProcFS().CreateProvider(LogPath, kernel.RootUid, false, d.renderLog); err != nil {
 			return err
 		}
 		d.procfsOpened = true
@@ -603,65 +666,141 @@ func (d *Driver) publishStats() {
 // DisableIPCLogging stops recording; buffered records remain flushable.
 func (d *Driver) DisableIPCLogging() { d.logging = false }
 
+// PendingLogLen reports how many records are buffered awaiting FlushLog.
+func (d *Driver) PendingLogLen() int { return d.pending.len() }
+
 // LoggingEnabled reports whether transactions are being recorded.
 func (d *Driver) LoggingEnabled() bool { return d.logging }
 
-// FlushLog appends all buffered records to the procfs file and clears the
-// buffer. It returns the number of records flushed.
-func (d *Driver) FlushLog() (int, error) {
-	if len(d.pendingLog) == 0 {
-		return 0, nil
+// renderLog produces the procfs text form of the flushed log — one
+// IPCRecord.String line per record — on demand, when somebody reads the
+// /proc file itself rather than the struct APIs.
+func (d *Driver) renderLog() []byte {
+	if len(d.flushed) == 0 {
+		return nil
 	}
 	var sb strings.Builder
-	for _, r := range d.pendingLog {
-		sb.WriteString(r.String())
+	sb.Grow(len(d.flushed) * 48)
+	for i := range d.flushed {
+		sb.WriteString(d.flushed[i].String())
 		sb.WriteByte('\n')
 	}
-	n := len(d.pendingLog)
-	d.pendingLog = d.pendingLog[:0]
-	if err := d.k.ProcFS().Append(LogPath, kernel.RootUid, []byte(sb.String())); err != nil {
+	return []byte(sb.String())
+}
+
+// FlushLog moves all buffered records into the procfs file's backing
+// store and indexes them by victim pid and sender uid. It returns the
+// number of records flushed. The pending buffer is cleared even when the
+// file is gone (matching a failed append after the write-side buffer was
+// consumed); the records are then lost, as before.
+func (d *Driver) FlushLog() (int, error) {
+	n := d.pending.len()
+	if n == 0 {
+		return 0, nil
+	}
+	if err := d.k.ProcFS().CheckRead(LogPath, kernel.RootUid); err != nil {
+		d.pending.discard()
 		return 0, err
+	}
+	base := len(d.flushed)
+	d.flushed = d.pending.drain(d.flushed)
+	for i := base; i < len(d.flushed); i++ {
+		r := &d.flushed[i]
+		d.byPid[r.ToPid] = append(d.byPid[r.ToPid], i)
+		d.byUid[r.FromUid] = append(d.byUid[r.FromUid], i)
 	}
 	d.publishStats()
 	return n, nil
 }
 
 // TruncateLog clears the procfs log contents (the defender does this after
-// consuming a window of records).
+// consuming a window of records). The index storage is retained so the
+// steady-state poll loop allocates nothing.
 func (d *Driver) TruncateLog() error {
 	if !d.procfsOpened {
 		return nil
 	}
-	return d.k.ProcFS().Write(LogPath, kernel.RootUid, nil)
+	if err := d.k.ProcFS().CheckRead(LogPath, kernel.RootUid); err != nil {
+		return err
+	}
+	d.flushed = d.flushed[:0]
+	for pid, idx := range d.byPid {
+		d.byPid[pid] = idx[:0]
+	}
+	for uid, idx := range d.byUid {
+		d.byUid[uid] = idx[:0]
+	}
+	return nil
 }
 
-// ReadLog parses the procfs log as uid. Permission enforcement is the
-// procfs's: app uids are denied, so malicious apps cannot observe or spoof
-// the evidence stream. Injected read faults surface as
-// faults.ErrInjectedRead before any data is returned, standing in for
-// the transient EIO a real procfs read can hit.
-func (d *Driver) ReadLog(uid kernel.Uid) ([]IPCRecord, error) {
+// logReadable runs the shared read-side gauntlet: injected read faults
+// first (standing in for the transient EIO a real procfs read can hit),
+// then the procfs ACL, without materializing any contents.
+func (d *Driver) logReadable(uid kernel.Uid) error {
 	if in := d.cfg.Faults; in != nil {
 		if err := in.ReadError(); err != nil {
 			d.readErrs++
 			d.publishStats()
-			return nil, err
+			return err
 		}
 	}
-	raw, err := d.k.ProcFS().Read(LogPath, uid)
-	if err != nil {
+	return d.k.ProcFS().CheckRead(LogPath, uid)
+}
+
+// ReadLog returns the flushed log as uid. Permission enforcement is the
+// procfs's: app uids are denied, so malicious apps cannot observe or spoof
+// the evidence stream. Injected read faults surface as
+// faults.ErrInjectedRead before any data is returned.
+func (d *Driver) ReadLog(uid kernel.Uid) ([]IPCRecord, error) {
+	if err := d.logReadable(uid); err != nil {
 		return nil, err
 	}
-	var out []IPCRecord
-	for _, line := range strings.Split(string(raw), "\n") {
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		r, err := ParseIPCRecord(line)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	if len(d.flushed) == 0 {
+		return nil, nil
+	}
+	return append([]IPCRecord(nil), d.flushed...), nil
+}
+
+// ReadLogSince returns the flushed records targeting victim whose sequence
+// number exceeds afterSeq, oldest first. The per-victim position index
+// plus a binary search on the (monotone) sequence numbers makes the read
+// O(log n + window) instead of a scan over every flushed record — this is
+// the defender's poll-path read. Permission and fault behaviour match
+// ReadLog.
+func (d *Driver) ReadLogSince(uid kernel.Uid, victim kernel.Pid, afterSeq uint64) ([]IPCRecord, error) {
+	if err := d.logReadable(uid); err != nil {
+		return nil, err
+	}
+	idx := d.byPid[victim]
+	// Positions are appended in flush order and seqs are monotone, so the
+	// index is seq-sorted.
+	lo := sort.Search(len(idx), func(i int) bool {
+		return d.flushed[idx[i]].Seq > afterSeq
+	})
+	if lo == len(idx) {
+		return nil, nil
+	}
+	out := make([]IPCRecord, 0, len(idx)-lo)
+	for _, pos := range idx[lo:] {
+		out = append(out, d.flushed[pos])
+	}
+	return out, nil
+}
+
+// ReadLogBySender returns the flushed records sent by uid from, oldest
+// first, via the per-uid index — the attribution view dumpsys-style tools
+// want without scanning the whole log.
+func (d *Driver) ReadLogBySender(uid kernel.Uid, from kernel.Uid) ([]IPCRecord, error) {
+	if err := d.logReadable(uid); err != nil {
+		return nil, err
+	}
+	idx := d.byUid[from]
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	out := make([]IPCRecord, 0, len(idx))
+	for _, pos := range idx {
+		out = append(out, d.flushed[pos])
 	}
 	return out, nil
 }

@@ -1,0 +1,186 @@
+package binder
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/kernel"
+	"repro/internal/simclock"
+)
+
+// benchRig builds a minimal logged two-process device for hot-path
+// benchmarks: a sink service on a system process that reads (but does not
+// retain) the flooded binder tokens, so the table drains through GC and
+// the flood can run for any b.N.
+type benchRig struct {
+	clock  *simclock.Clock
+	k      *kernel.Kernel
+	d      *Driver
+	server *kernel.Process
+	app    *kernel.Process
+	svc    *BinderRef
+}
+
+func newBenchRig(b *testing.B, fcfg faults.Config, seed int64) *benchRig {
+	b.Helper()
+	clock := simclock.New()
+	k := kernel.New(clock, kernel.Config{})
+	cfg := Config{}
+	if fcfg.Enabled() {
+		cfg.Faults = faults.New(fcfg, seed)
+	}
+	d := New(k, cfg)
+	server := k.Spawn(kernel.SpawnConfig{
+		Name: kernel.SystemServerName, Uid: kernel.SystemUid,
+		OomScoreAdj: kernel.SystemAdj,
+	})
+	app := k.Spawn(kernel.SpawnConfig{Name: "com.bench.app", Uid: 10061})
+	sm := NewServiceManager(d)
+	stub := d.NewLocalBinder(server, "SinkService", TransactorFunc(func(c *Call) error {
+		if _, err := c.Data.ReadString(); err != nil {
+			return err
+		}
+		// Read but never retain: the innocent pattern, which keeps the
+		// victim table draining via GC so the flood is sustainable.
+		_, err := c.Data.ReadStrongBinder()
+		return err
+	}))
+	if err := sm.AddService("sink", stub); err != nil {
+		b.Fatal(err)
+	}
+	svc, err := sm.GetService("sink", app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.EnableIPCLogging(); err != nil {
+		b.Fatal(err)
+	}
+	return &benchRig{clock: clock, k: k, d: d, server: server, app: app, svc: svc}
+}
+
+// floodOnce issues one attack-shaped logged transaction: pooled parcels,
+// a fresh binder token, transact, log append — the same path a client's
+// Register call takes.
+func (r *benchRig) floodOnce(b *testing.B) {
+	data, reply := ObtainParcel(), ObtainParcel()
+	data.WriteString("com.bench.app")
+	data.WriteStrongBinder(r.d.NewLocalBinder(r.app, "android.os.Binder", nil))
+	err := r.svc.Binder().Transact(1, data, reply)
+	data.Recycle()
+	reply.Recycle()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTransactLogged measures the per-call simulation hot path with
+// IPC logging enabled: binder transact -> JGR bookkeeping -> log append.
+// The unbounded case grows the pending buffer (drained off-timer); the
+// ring-flood case holds a bounded kernel-style ring at capacity so every
+// append evicts — the flood-scale eviction path.
+func BenchmarkTransactLogged(b *testing.B) {
+	b.Run("unbounded", func(b *testing.B) {
+		r := newBenchRig(b, faults.Config{}, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.floodOnce(b)
+			if r.d.PendingLogLen() >= 1<<15 {
+				b.StopTimer()
+				if _, err := r.d.FlushLog(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.d.TruncateLog(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("ring-flood", func(b *testing.B) {
+		r := newBenchRig(b, faults.Config{RingCapacity: 4096}, 1)
+		// Pre-fill the ring so every timed append evicts.
+		for i := 0; i < 4096; i++ {
+			r.floodOnce(b)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.floodOnce(b)
+		}
+	})
+}
+
+// BenchmarkReadLogWindow measures the defender's evidence-window read: a
+// flushed log populated by two interleaved victims, from which the reader
+// extracts one victim's records.
+func BenchmarkReadLogWindow(b *testing.B) {
+	r := newBenchRig(b, faults.Config{}, 1)
+	// A second victim service on its own process; its records must be
+	// filtered out of the window.
+	other := r.k.Spawn(kernel.SpawnConfig{
+		Name: "com.android.phone", Uid: kernel.SystemUid,
+		OomScoreAdj: kernel.PersistentProcAdj,
+	})
+	sm := NewServiceManager(r.d)
+	stub := r.d.NewLocalBinder(other, "OtherSink", TransactorFunc(func(c *Call) error {
+		_, err := c.Data.ReadString()
+		return err
+	}))
+	if err := sm.AddService("othersink", stub); err != nil {
+		b.Fatal(err)
+	}
+	osvc, err := sm.GetService("othersink", r.app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	for i := 0; i < n; i++ {
+		r.floodOnce(b)
+		data := NewParcel()
+		data.WriteString("com.bench.app")
+		if err := osvc.Binder().Transact(1, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := r.d.FlushLog(); err != nil {
+		b.Fatal(err)
+	}
+	victim := r.server.Pid()
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, err := r.d.ReadLog(kernel.SystemUid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := 0
+			for _, rec := range recs {
+				if rec.ToPid == victim && kernel.IsAppUid(rec.FromUid) {
+					window++
+				}
+			}
+			if window != n {
+				b.Fatalf("window = %d, want %d", window, n)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			recs, err := r.d.ReadLogSince(kernel.SystemUid, victim, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := 0
+			for _, rec := range recs {
+				if kernel.IsAppUid(rec.FromUid) {
+					window++
+				}
+			}
+			if window != n {
+				b.Fatalf("window = %d, want %d", window, n)
+			}
+		}
+	})
+}

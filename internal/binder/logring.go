@@ -1,0 +1,63 @@
+package binder
+
+// logRing is the driver's pending IPC-record buffer: unbounded by
+// default, bounded with oldest-first eviction when the fault injector
+// models a kernel-style ring buffer. Eviction is O(1) — the oldest slot
+// is overwritten in place and the head index advances — where the
+// previous implementation memmoved the whole buffer per overflowing
+// append, making flood scenarios quadratic in the ring capacity.
+//
+// Layout invariants:
+//   - n is the number of live records; the logical order is
+//     buf[head], buf[head+1], …, wrapping modulo len(buf).
+//   - head is nonzero only while the ring is saturated at a fixed
+//     capacity (n == capacity == len(buf)); the growing, unwrapped state
+//     always has head == 0, so logical order equals slice order.
+//   - drain resets head and n but keeps buf, so a flush-reuse cycle
+//     allocates nothing once the buffer has reached its working size.
+type logRing struct {
+	buf  []IPCRecord
+	head int
+	n    int
+}
+
+// len reports the number of buffered records.
+func (r *logRing) len() int { return r.n }
+
+// push appends rec. capacity > 0 bounds the ring: a push into a full
+// ring overwrites the oldest record in place and reports the eviction.
+// The capacity must not change between pushes without an intervening
+// drain (the fault injector's ring capacity is fixed per run).
+func (r *logRing) push(rec IPCRecord, capacity int) (evicted bool) {
+	if capacity > 0 && r.n == capacity {
+		r.buf[r.head] = rec
+		r.head++
+		if r.head == capacity {
+			r.head = 0
+		}
+		return true
+	}
+	if r.n < len(r.buf) {
+		r.buf[r.n] = rec
+	} else {
+		r.buf = append(r.buf, rec)
+	}
+	r.n++
+	return false
+}
+
+// drain appends the buffered records, oldest first, to dst and empties
+// the ring (keeping its storage). It returns the extended slice.
+func (r *logRing) drain(dst []IPCRecord) []IPCRecord {
+	if r.head == 0 {
+		dst = append(dst, r.buf[:r.n]...)
+	} else {
+		dst = append(dst, r.buf[r.head:r.n]...)
+		dst = append(dst, r.buf[:r.head]...)
+	}
+	r.head, r.n = 0, 0
+	return dst
+}
+
+// discard empties the ring without copying the records out.
+func (r *logRing) discard() { r.head, r.n = 0, 0 }

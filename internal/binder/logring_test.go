@@ -1,0 +1,178 @@
+package binder
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// shiftModel is the reference implementation the head-indexed ring
+// replaced: bounded eviction by copying the slice down one slot. The ring
+// must be observationally identical to it — same survivors, same order,
+// same eviction count — for every push/drain interleaving.
+type shiftModel struct {
+	buf []IPCRecord
+}
+
+func (m *shiftModel) push(rec IPCRecord, capacity int) (evicted bool) {
+	if capacity > 0 && len(m.buf) >= capacity {
+		copy(m.buf, m.buf[1:])
+		m.buf[len(m.buf)-1] = rec
+		return true
+	}
+	m.buf = append(m.buf, rec)
+	return false
+}
+
+func (m *shiftModel) drain() []IPCRecord {
+	out := append([]IPCRecord(nil), m.buf...)
+	m.buf = m.buf[:0]
+	return out
+}
+
+func rec(seq uint64) IPCRecord {
+	return IPCRecord{Seq: seq, Time: time.Duration(seq) * time.Millisecond, Size: int(seq % 97)}
+}
+
+func TestLogRingMatchesShiftModel(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		pushes   []int // run lengths; a drain happens between runs
+	}{
+		{"unbounded", 0, []int{5, 0, 17, 3}},
+		{"never-fills", 8, []int{5, 7, 3}},
+		{"exactly-full", 4, []int{4, 4}},
+		{"single-wrap", 4, []int{6, 2}},
+		{"multi-wrap", 4, []int{13, 9, 21}},
+		{"capacity-one", 1, []int{5, 1, 3}},
+		{"long-flood", 16, []int{1000}},
+		{"refill-after-drain", 3, []int{7, 7, 7, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ring logRing
+			var model shiftModel
+			seq := uint64(0)
+			for run, n := range tc.pushes {
+				evictions, modelEvictions := 0, 0
+				for i := 0; i < n; i++ {
+					seq++
+					r := rec(seq)
+					if ring.push(r, tc.capacity) {
+						evictions++
+					}
+					if model.push(r, tc.capacity) {
+						modelEvictions++
+					}
+					if ring.len() != len(model.buf) {
+						t.Fatalf("run %d push %d: len = %d, model = %d", run, i, ring.len(), len(model.buf))
+					}
+				}
+				if evictions != modelEvictions {
+					t.Fatalf("run %d: evictions = %d, model = %d", run, evictions, modelEvictions)
+				}
+				got := ring.drain(nil)
+				want := model.drain()
+				if len(got) != len(want) {
+					t.Fatalf("run %d: drained %d records, model %d", run, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("run %d record %d: got seq %d, model seq %d", run, i, got[i].Seq, want[i].Seq)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLogRingDrainAppends(t *testing.T) {
+	var ring logRing
+	for seq := uint64(1); seq <= 6; seq++ {
+		ring.push(rec(seq), 4) // evicts 1 and 2
+	}
+	prefix := []IPCRecord{rec(100)}
+	out := ring.drain(prefix)
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	wantSeqs := []uint64{100, 3, 4, 5, 6}
+	for i, w := range wantSeqs {
+		if out[i].Seq != w {
+			t.Fatalf("out[%d].Seq = %d, want %d", i, out[i].Seq, w)
+		}
+	}
+	if ring.len() != 0 {
+		t.Fatalf("ring not empty after drain: %d", ring.len())
+	}
+}
+
+func TestLogRingDiscard(t *testing.T) {
+	var ring logRing
+	for seq := uint64(1); seq <= 10; seq++ {
+		ring.push(rec(seq), 4)
+	}
+	ring.discard()
+	if ring.len() != 0 {
+		t.Fatalf("len = %d after discard", ring.len())
+	}
+	// The ring must be reusable from the growing state after a discard.
+	ring.push(rec(11), 4)
+	out := ring.drain(nil)
+	if len(out) != 1 || out[0].Seq != 11 {
+		t.Fatalf("post-discard drain = %+v", out)
+	}
+}
+
+func TestLogRingStorageReuse(t *testing.T) {
+	var ring logRing
+	for seq := uint64(1); seq <= 100; seq++ {
+		ring.push(rec(seq), 0)
+	}
+	ring.drain(nil)
+	grew := testing.AllocsPerRun(50, func() {
+		ring.push(rec(1), 0)
+		ring.discard()
+	})
+	if grew != 0 {
+		t.Fatalf("push into drained ring allocated %.1f times per run", grew)
+	}
+}
+
+// TestLogRingFuzzAgainstModel drives randomized-ish (deterministic LCG)
+// push/drain schedules over several capacities, checking survivors and
+// eviction counts against the copy-shift reference at every drain.
+func TestLogRingFuzzAgainstModel(t *testing.T) {
+	for _, capacity := range []int{0, 1, 2, 3, 7, 64} {
+		t.Run(fmt.Sprintf("capacity-%d", capacity), func(t *testing.T) {
+			var ring logRing
+			var model shiftModel
+			state := uint64(0x9E3779B97F4A7C15)
+			next := func(n int) int {
+				state = state*6364136223846793005 + 1442695040888963407
+				return int(state>>33) % n
+			}
+			seq := uint64(0)
+			for step := 0; step < 200; step++ {
+				run := next(2*64 + 5)
+				for i := 0; i < run; i++ {
+					seq++
+					r := rec(seq)
+					if ring.push(r, capacity) != model.push(r, capacity) {
+						t.Fatalf("step %d: eviction disagreement at seq %d", step, seq)
+					}
+				}
+				got, want := ring.drain(nil), model.drain()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: drained %d, model %d", step, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("step %d record %d: got seq %d, want %d", step, i, got[i].Seq, want[i].Seq)
+					}
+				}
+			}
+		})
+	}
+}

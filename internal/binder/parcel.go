@@ -14,6 +14,7 @@ package binder
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/art"
 )
@@ -118,12 +119,37 @@ type Parcel struct {
 // NewParcel returns an empty parcel.
 func NewParcel() *Parcel { return &Parcel{} }
 
-// Reset clears the parcel for reuse.
+// parcelPool recycles parcels across transactions, mirroring
+// Parcel.obtain()/recycle(): the framework's hot paths churn through two
+// parcels per call, and pooling keeps that churn off the allocator.
+var parcelPool = sync.Pool{New: func() any { return new(Parcel) }}
+
+// ObtainParcel returns an empty parcel from the pool. Callers that can
+// bound the parcel's lifetime (it must not escape the transaction) should
+// pair it with Recycle; letting it leak to the GC instead is safe, just
+// slower.
+func ObtainParcel() *Parcel {
+	return parcelPool.Get().(*Parcel)
+}
+
+// Recycle resets the parcel and returns it to the pool. The caller must
+// not use the parcel afterwards.
+func (p *Parcel) Recycle() {
+	p.Reset()
+	parcelPool.Put(p)
+}
+
+// Reset clears the parcel for reuse. Item slots are zeroed so a pooled
+// parcel does not keep binders or payload bytes reachable, but both the
+// item and readRef storage is kept, so steady-state reuse allocates
+// nothing.
 func (p *Parcel) Reset() {
+	clear(p.items)
 	p.items = p.items[:0]
 	p.pos = 0
 	p.reader = nil
-	p.readRefs = nil
+	clear(p.readRefs)
+	p.readRefs = p.readRefs[:0]
 }
 
 // Len returns the number of items in the parcel.
@@ -251,7 +277,7 @@ func (p *Parcel) ReadStrongBinder() (*BinderRef, error) {
 	// JNI hands the unmarshalled object to the handler through a local
 	// reference in the current frame (freed when the transaction pops
 	// its frame); retention beyond the call requires the global ref.
-	if _, lerr := p.reader.proc.VM().AddLocalRef(&art.Object{ID: localObjID(ref), Class: "android.os.IBinder"}); lerr != nil {
+	if _, lerr := p.reader.proc.VM().AddLocalRef(p.reader.driver.scratch(localObjID(ref), "android.os.IBinder")); lerr != nil {
 		return nil, lerr
 	}
 	if ref.jgr != 0 {
@@ -273,10 +299,12 @@ func (p *Parcel) attachReader(ctx *procContext) {
 
 // finishRead marks every binder read from this parcel but never retained
 // as collectable, simulating the Java-side proxies becoming unreachable
-// once onTransact returns.
+// once onTransact returns. The slice's storage is kept for reuse; the
+// elements are dropped so finished refs stay collectable.
 func (p *Parcel) finishRead() {
-	for _, r := range p.readRefs {
+	for i, r := range p.readRefs {
 		r.endOfTransaction()
+		p.readRefs[i] = nil
 	}
-	p.readRefs = nil
+	p.readRefs = p.readRefs[:0]
 }

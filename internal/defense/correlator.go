@@ -1,0 +1,163 @@
+package defense
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/binder"
+	"repro/internal/kernel"
+	"repro/internal/segtree"
+)
+
+// typeKey identifies one IPC interface type for Algorithm 1: the calling
+// app, the target interface (handle+code) and, unless path classification
+// is disabled, the observable execution-path signature (§VI).
+type typeKey struct {
+	uid    kernel.Uid
+	handle binder.Handle
+	code   binder.TxCode
+	path   int
+}
+
+func typeKeyLess(a, b typeKey) bool {
+	if a.uid != b.uid {
+		return a.uid < b.uid
+	}
+	if a.handle != b.handle {
+		return a.handle < b.handle
+	}
+	if a.code != b.code {
+		return a.code < b.code
+	}
+	return a.path < b.path
+}
+
+// typeCalls is one interface type's call-time bucket. round stamps which
+// scoring pass last touched it, so stale buckets from earlier windows cost
+// nothing to skip and their storage is reused the next time the same
+// (app, interface, path) shows up.
+type typeCalls struct {
+	times []time.Duration
+	round uint64
+}
+
+// correlator runs Algorithm 1 (§V-A) over one evidence window, reusing
+// its delay buckets, key scratch, sorted-adds buffer and segment tree
+// across calls. A Defender keeps one correlator for its poll loop, making
+// the per-engagement scoring allocation-free in steady state; code that
+// needs concurrent or one-shot scoring (the Fig. 9 Δ sweep) uses a fresh
+// zero-value correlator per call instead, which is what ScoreWithDelta
+// does.
+type correlator struct {
+	adds  []time.Duration
+	keys  []typeKey
+	calls map[typeKey]*typeCalls
+	// names caches interface display names within a single score call
+	// only: caching across engagements would pin stale fallback names
+	// when a service restarts mid-run and its handle becomes resolvable.
+	names map[typeKey]string
+	tree  *segtree.Tree
+	round uint64
+}
+
+// score implements Algorithm 1 with an explicit Δ: for every app and
+// every IPC interface type the app invoked, accumulate candidate delays
+// [JGRTime−IPCTime, JGRTime−IPCTime+Δ] on a segment tree over the delay
+// axis, take the best-supported bucket as that type's count of suspicious
+// calls, and sum the counts into the app's jgre_score. The output is
+// byte-for-byte the ranking the non-incremental implementation produced:
+// the bucket fill, key order, tree updates and final sort are identical.
+func (c *correlator) score(d *Defender, records []binder.IPCRecord, jgrAdds []time.Duration, delta time.Duration) []AppScore {
+	if len(records) == 0 || len(jgrAdds) == 0 {
+		return nil
+	}
+	c.round++
+	if c.calls == nil {
+		c.calls = make(map[typeKey]*typeCalls)
+	}
+	if c.names == nil {
+		c.names = make(map[typeKey]string)
+	} else {
+		clear(c.names)
+	}
+
+	c.adds = append(c.adds[:0], jgrAdds...)
+	sort.Slice(c.adds, func(i, j int) bool { return c.adds[i] < c.adds[j] })
+	adds := c.adds
+
+	c.keys = c.keys[:0]
+	for _, r := range records {
+		k := typeKey{uid: r.FromUid, handle: r.Handle, code: r.Code}
+		if !d.cfg.DisablePathClassification {
+			// §VI: calls of the same IPC method travelling different code
+			// paths carry different argument shapes; the transaction size
+			// is the observable path signature.
+			k.path = r.Size
+		}
+		tc, ok := c.calls[k]
+		if !ok {
+			tc = &typeCalls{}
+			c.calls[k] = tc
+		}
+		if tc.round != c.round {
+			tc.round = c.round
+			tc.times = tc.times[:0]
+			c.keys = append(c.keys, k)
+		}
+		tc.times = append(tc.times, r.Time)
+		if _, ok := c.names[k]; !ok {
+			if t, resolved := d.dev.Resolve(r); resolved {
+				c.names[k] = t.FullName()
+			} else {
+				c.names[k] = fmt.Sprintf("handle%d.code%d", r.Handle, r.Code)
+			}
+		}
+	}
+	sort.Slice(c.keys, func(i, j int) bool { return typeKeyLess(c.keys[i], c.keys[j]) })
+
+	domain := int(d.cfg.MaxDelay/delayBucket) + 2
+	if c.tree == nil || c.tree.Len() != domain {
+		c.tree = segtree.New(domain)
+	}
+	deltaBuckets := int(delta / delayBucket)
+	scores := make(map[kernel.Uid]*AppScore)
+	for _, k := range c.keys {
+		c.tree.Reset()
+		for _, ct := range c.calls[k].times {
+			// Only JGR creations within [ct, ct+MaxDelay] can be effects
+			// of this call.
+			lo := sort.Search(len(adds), func(i int) bool { return adds[i] >= ct })
+			for i := lo; i < len(adds) && adds[i] <= ct+d.cfg.MaxDelay; i++ {
+				minDelay := int((adds[i] - ct) / delayBucket)
+				c.tree.Add(minDelay, minDelay+deltaBuckets, 1)
+			}
+		}
+		best := c.tree.GlobalMax()
+		if best == 0 {
+			continue
+		}
+		s, ok := scores[k.uid]
+		if !ok {
+			s = &AppScore{Uid: k.uid, ByType: make(map[string]int64)}
+			if a := d.dev.Apps().ByUid(k.uid); a != nil {
+				s.Package = a.Package()
+			}
+			scores[k.uid] = s
+		}
+		s.Score += best
+		s.ByType[c.names[k]] += best
+	}
+
+	out := make([]AppScore, 0, len(scores))
+	for _, s := range scores {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Uid < out[j].Uid
+	})
+	return out
+}

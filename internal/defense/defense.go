@@ -17,7 +17,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/device"
 	"repro/internal/kernel"
-	"repro/internal/segtree"
 )
 
 // Defaults from the paper.
@@ -208,6 +207,11 @@ type Defender struct {
 	// lastStats is the driver's telemetry counters at the end of the
 	// previous engagement, delimiting the current evidence window.
 	lastStats binder.LogStats
+	// corr is the poll loop's incremental correlator: respond() reuses
+	// its buckets, segment tree and scratch buffers across engagements.
+	// Only the single-goroutine monitor path may use it; the public
+	// Score/ScoreWithDelta stay stateless for concurrent callers.
+	corr correlator
 	// OnDetection, if set, observes each engagement after recovery.
 	OnDetection func(Detection)
 }
@@ -355,7 +359,7 @@ func (m *monitor) respond() {
 		start := d.dev.Clock().Now()
 		d.chargeAnalysis(records)
 		if d.surviveAnalysisFaults(&det) {
-			det.Scores = d.ScoreWithDelta(records, m.addTimes, det.EffectiveDelta)
+			det.Scores = d.corr.score(d, records, m.addTimes, det.EffectiveDelta)
 			scored = true
 		}
 		det.AnalysisTime = d.dev.Clock().Now() - start
@@ -553,21 +557,28 @@ func (d *Defender) fallbackScores(victim kernel.Pid, corr []AppScore, coverage f
 }
 
 // readRecords flushes the driver log and returns the records aimed at the
-// victim pid. The defender reads as the system uid; the procfs ACL keeps
-// apps from seeing or spoofing the stream.
+// victim pid since the previous engagement, via the driver's per-victim
+// seq index (ReadLogSince) instead of scanning the full log. lastStats.Seq
+// is a valid window delimiter because the previous engagement truncated
+// the log before capturing it, so every flushed record newer than it
+// belongs to this window. The defender reads as the system uid; the
+// procfs ACL keeps apps from seeing or spoofing the stream.
 func (d *Defender) readRecords(victim kernel.Pid) ([]binder.IPCRecord, error) {
 	if _, err := d.dev.Driver().FlushLog(); err != nil {
 		return nil, err
 	}
-	all, err := d.dev.Driver().ReadLog(kernel.SystemUid)
+	window, err := d.dev.Driver().ReadLogSince(kernel.SystemUid, victim, d.lastStats.Seq)
 	if err != nil {
 		return nil, err
 	}
-	var out []binder.IPCRecord
-	for _, r := range all {
-		if r.ToPid == victim && kernel.IsAppUid(r.FromUid) {
+	out := window[:0]
+	for _, r := range window {
+		if kernel.IsAppUid(r.FromUid) {
 			out = append(out, r)
 		}
+	}
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }
@@ -602,100 +613,13 @@ func (d *Defender) Score(records []binder.IPCRecord, jgrAdds []time.Duration) []
 }
 
 // ScoreWithDelta runs Algorithm 1 with an explicit Δ, used by the Fig. 9
-// sensitivity sweep.
+// sensitivity sweep. It is stateless — each call builds a fresh
+// correlator — so concurrent callers (Fig. 9 scores deltas across a
+// worker pool) never share scratch state; the defender's own poll loop
+// goes through its persistent correlator instead.
 func (d *Defender) ScoreWithDelta(records []binder.IPCRecord, jgrAdds []time.Duration, delta time.Duration) []AppScore {
-	if len(records) == 0 || len(jgrAdds) == 0 {
-		return nil
-	}
-	adds := append([]time.Duration(nil), jgrAdds...)
-	sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
-
-	type typeKey struct {
-		uid    kernel.Uid
-		handle binder.Handle
-		code   binder.TxCode
-		path   int
-	}
-	callsByType := make(map[typeKey][]time.Duration)
-	typeName := make(map[typeKey]string)
-	for _, r := range records {
-		k := typeKey{uid: r.FromUid, handle: r.Handle, code: r.Code}
-		if !d.cfg.DisablePathClassification {
-			// §VI: calls of the same IPC method travelling different code
-			// paths carry different argument shapes; the transaction size
-			// is the observable path signature.
-			k.path = r.Size
-		}
-		callsByType[k] = append(callsByType[k], r.Time)
-		if _, ok := typeName[k]; !ok {
-			if t, resolved := d.dev.Resolve(r); resolved {
-				typeName[k] = t.FullName()
-			} else {
-				typeName[k] = fmt.Sprintf("handle%d.code%d", r.Handle, r.Code)
-			}
-		}
-	}
-
-	domain := int(d.cfg.MaxDelay/delayBucket) + 2
-	scores := make(map[kernel.Uid]*AppScore)
-	keys := make([]typeKey, 0, len(callsByType))
-	for k := range callsByType {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.uid != b.uid {
-			return a.uid < b.uid
-		}
-		if a.handle != b.handle {
-			return a.handle < b.handle
-		}
-		if a.code != b.code {
-			return a.code < b.code
-		}
-		return a.path < b.path
-	})
-
-	deltaBuckets := int(delta / delayBucket)
-	for _, k := range keys {
-		tree := segtree.New(domain)
-		calls := callsByType[k]
-		for _, ct := range calls {
-			// Only JGR creations within [ct, ct+MaxDelay] can be effects
-			// of this call.
-			lo := sort.Search(len(adds), func(i int) bool { return adds[i] >= ct })
-			for i := lo; i < len(adds) && adds[i] <= ct+d.cfg.MaxDelay; i++ {
-				minDelay := int((adds[i] - ct) / delayBucket)
-				tree.Add(minDelay, minDelay+deltaBuckets, 1)
-			}
-		}
-		best := tree.GlobalMax()
-		if best == 0 {
-			continue
-		}
-		s, ok := scores[k.uid]
-		if !ok {
-			s = &AppScore{Uid: k.uid, ByType: make(map[string]int64)}
-			if a := d.dev.Apps().ByUid(k.uid); a != nil {
-				s.Package = a.Package()
-			}
-			scores[k.uid] = s
-		}
-		s.Score += best
-		s.ByType[typeName[k]] += best
-	}
-
-	out := make([]AppScore, 0, len(scores))
-	for _, s := range scores {
-		out = append(out, *s)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Uid < out[j].Uid
-	})
-	return out
+	var c correlator
+	return c.score(d, records, jgrAdds, delta)
 }
 
 // AverageDelta returns the catalog-wide mean jitter — how §V-C derives

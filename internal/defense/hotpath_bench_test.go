@@ -1,0 +1,103 @@
+package defense
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/binder"
+	"repro/internal/device"
+	"repro/internal/kernel"
+)
+
+// correlateFixture builds a realistic defender window: one flood app and
+// one chatty benign app against the clipboard service, with the JGR add
+// times captured through the system-server hook exactly as the live
+// defender sees them.
+func correlateFixture(b *testing.B) (*Defender, []binder.IPCRecord, []time.Duration) {
+	b.Helper()
+	dev, err := device.Boot(device.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	def, err := New(dev, Config{AlarmThreshold: 1 << 20, EngageThreshold: 1 << 21, KeepRaw: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var adds []time.Duration
+	dev.SystemServer().VM().AddJGRHook(func(ev art.JGREvent) {
+		if ev.Op == art.OpAdd {
+			adds = append(adds, ev.Time)
+		}
+	})
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := dev.NewClient(evil, "clipboard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benign, err := dev.Apps().Install("com.benign.chat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bclient, err := dev.NewClient(benign, "clipboard")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := client.Register("addPrimaryClipChangedListener"); err != nil {
+			b.Fatal(err)
+		}
+		if i%10 == 0 {
+			if err := bclient.Register("addPrimaryClipChangedListener"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if _, err := dev.Driver().FlushLog(); err != nil {
+		b.Fatal(err)
+	}
+	all, err := dev.Driver().ReadLog(kernel.SystemUid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	victim := dev.SystemServer().Pid()
+	var records []binder.IPCRecord
+	for _, r := range all {
+		if r.ToPid == victim && kernel.IsAppUid(r.FromUid) {
+			records = append(records, r)
+		}
+	}
+	return def, records, adds
+}
+
+// BenchmarkCorrelate measures Algorithm 1's correlation stage on the
+// defender's poll path: per-type delay bucketing plus the segment-tree
+// window maximum, repeated every poll as the live defender does.
+// "stateless" is the public Score path (fresh correlator per call, what
+// concurrent sweep callers get); "incremental" is the poll loop's
+// persistent correlator, which reuses buckets and the segment tree
+// across windows.
+func BenchmarkCorrelate(b *testing.B) {
+	def, records, adds := correlateFixture(b)
+	b.Run("stateless", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := def.Score(records, adds)
+			if len(scores) == 0 {
+				b.Fatal("no scores")
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scores := def.corr.score(def, records, adds, def.cfg.Delta)
+			if len(scores) == 0 {
+				b.Fatal("no scores")
+			}
+		}
+	})
+}

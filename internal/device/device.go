@@ -7,6 +7,7 @@ package device
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/art"
@@ -109,6 +110,14 @@ type Device struct {
 	appServices  map[string]*apps.AppService
 	handleIndex  map[binder.Handle]handleEntry
 
+	// resolveMu guards resolveMemo, the (handle, code) → IPCTarget cache
+	// behind Resolve. The lock exists for Resolve's concurrent readers
+	// (the Δ-sweep scores windows across a worker pool); every
+	// handleIndex mutation invalidates the whole memo. Safe because the
+	// driver never reuses handles.
+	resolveMu   sync.RWMutex
+	resolveMemo map[resolveKey]resolveResult
+
 	bootCount    int
 	broadcastSeq uint64
 	onReboot     []func(reason string)
@@ -120,6 +129,26 @@ type handleEntry struct {
 	sys  *services.Service
 	app  *apps.AppService
 	name string
+}
+
+// resolveKey addresses one memoized Resolve result; the record's other
+// fields never influence the target attribution.
+type resolveKey struct {
+	handle binder.Handle
+	code   binder.TxCode
+}
+
+type resolveResult struct {
+	target IPCTarget
+	ok     bool
+}
+
+// invalidateResolve drops the Resolve memo; callers must do this after
+// every handleIndex mutation (service starts, reboots, republication).
+func (d *Device) invalidateResolve() {
+	d.resolveMu.Lock()
+	d.resolveMemo = nil
+	d.resolveMu.Unlock()
 }
 
 // Boot builds and starts a device.
@@ -213,6 +242,7 @@ func (d *Device) publishThirdPartyServices() error {
 		d.appServices[name] = svc
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
 	}
+	d.invalidateResolve()
 	return nil
 }
 
@@ -222,6 +252,7 @@ func (d *Device) startSystem() error {
 	d.hosts = make(map[string]*kernel.Process)
 	d.services = make(map[string]*services.Service)
 	d.handleIndex = make(map[binder.Handle]handleEntry)
+	d.invalidateResolve()
 
 	d.systemServer = d.kern.Spawn(kernel.SpawnConfig{
 		Name:        kernel.SystemServerName,
@@ -268,6 +299,7 @@ func (d *Device) startSystem() error {
 		d.services[meta.Name] = svc
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: meta.Name}
 	}
+	d.invalidateResolve()
 	return nil
 }
 
@@ -310,6 +342,7 @@ func (d *Device) publishPrebuiltServices() error {
 		d.appServices[name] = svc
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
 	}
+	d.invalidateResolve()
 	return nil
 }
 
@@ -411,7 +444,28 @@ func (d *Device) NewClient(a *apps.App, serviceName string) (*services.Client, e
 // Resolve attributes a logged IPC record to its target interface. The
 // defender uses this exactly as the paper's defender uses the
 // servicemanager + framework metadata: handle → service, code → method.
+// Results (hits and misses alike) are memoized per (handle, code); the
+// memo is dropped whenever the handle index changes, so a record from
+// before a service restart resolves exactly as it did uncached.
 func (d *Device) Resolve(rec binder.IPCRecord) (IPCTarget, bool) {
+	key := resolveKey{handle: rec.Handle, code: rec.Code}
+	d.resolveMu.RLock()
+	res, hit := d.resolveMemo[key]
+	d.resolveMu.RUnlock()
+	if hit {
+		return res.target, res.ok
+	}
+	t, ok := d.resolveUncached(rec)
+	d.resolveMu.Lock()
+	if d.resolveMemo == nil {
+		d.resolveMemo = make(map[resolveKey]resolveResult)
+	}
+	d.resolveMemo[key] = resolveResult{target: t, ok: ok}
+	d.resolveMu.Unlock()
+	return t, ok
+}
+
+func (d *Device) resolveUncached(rec binder.IPCRecord) (IPCTarget, bool) {
 	he, ok := d.handleIndex[rec.Handle]
 	if !ok {
 		return IPCTarget{}, false

@@ -17,6 +17,12 @@ var (
 // procFile is one in-memory procfs node.
 type procFile struct {
 	data []byte
+	// render, when non-nil, marks a provider-backed file: contents are
+	// produced by the kernel-side owner on every read instead of being
+	// stored, the way real procfs seq_files render on open. Provider
+	// files reject Write/Append — their contents are owned by the
+	// provider.
+	render func() []byte
 	// worldReadable grants read access to app uids. The JGRE defense
 	// creates /proc/jgre_ipc_log as system-only so that malicious apps
 	// can neither observe nor tamper with the IPC evidence (paper §V-B:
@@ -51,7 +57,26 @@ func (fs *ProcFS) Create(path string, ownerUid Uid, worldReadable bool) error {
 	return nil
 }
 
-// Write replaces the file contents. Only the owner may write.
+// CreateProvider registers a provider-backed file: reads invoke render
+// (which must return bytes the caller may keep) instead of copying stored
+// data, so producers with a cheaper native representation only pay for
+// text rendering when somebody actually opens the file. The permission
+// model is identical to Create; Write and Append are rejected.
+func (fs *ProcFS) CreateProvider(path string, ownerUid Uid, worldReadable bool, render func() []byte) error {
+	if render == nil {
+		return fmt.Errorf("create %s: nil provider", path)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("create %s: %w", path, ErrFileExists)
+	}
+	fs.files[path] = &procFile{ownerUid: ownerUid, worldReadable: worldReadable, render: render}
+	return nil
+}
+
+// Write replaces the file contents. Only the owner may write; provider
+// files are owned by their render function and reject writes.
 func (fs *ProcFS) Write(path string, uid Uid, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -62,11 +87,15 @@ func (fs *ProcFS) Write(path string, uid Uid, data []byte) error {
 	if uid != f.ownerUid && uid != RootUid {
 		return fmt.Errorf("write %s by uid %d: %w", path, uid, ErrPermissionDenied)
 	}
+	if f.render != nil {
+		return fmt.Errorf("write %s: provider file: %w", path, ErrPermissionDenied)
+	}
 	f.data = append([]byte(nil), data...)
 	return nil
 }
 
-// Append appends to the file contents. Only the owner may append.
+// Append appends to the file contents. Only the owner may append;
+// provider files reject appends.
 func (fs *ProcFS) Append(path string, uid Uid, data []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -77,13 +106,16 @@ func (fs *ProcFS) Append(path string, uid Uid, data []byte) error {
 	if uid != f.ownerUid && uid != RootUid {
 		return fmt.Errorf("append %s by uid %d: %w", path, uid, ErrPermissionDenied)
 	}
+	if f.render != nil {
+		return fmt.Errorf("append %s: provider file: %w", path, ErrPermissionDenied)
+	}
 	f.data = append(f.data, data...)
 	return nil
 }
 
 // Read returns a copy of the file contents, enforcing read permission:
 // the owner, root and the system uid always read; other uids only if the
-// file is world-readable.
+// file is world-readable. Provider files render on demand.
 func (fs *ProcFS) Read(path string, uid Uid) ([]byte, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -94,7 +126,28 @@ func (fs *ProcFS) Read(path string, uid Uid) ([]byte, error) {
 	if !f.worldReadable && uid != f.ownerUid && uid != RootUid && uid != SystemUid {
 		return nil, fmt.Errorf("read %s by uid %d: %w", path, uid, ErrPermissionDenied)
 	}
+	if f.render != nil {
+		return f.render(), nil
+	}
 	return append([]byte(nil), f.data...), nil
+}
+
+// CheckRead verifies that uid could read path — existence plus the same
+// ACL Read enforces — without materializing the contents. Producers that
+// hand out their native representation directly (the binder driver's
+// struct-record log reads) use this so the permission model stays the
+// procfs's even when no text is rendered.
+func (fs *ProcFS) CheckRead(path string, uid Uid) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("read %s: %w", path, ErrNoSuchFile)
+	}
+	if !f.worldReadable && uid != f.ownerUid && uid != RootUid && uid != SystemUid {
+		return fmt.Errorf("read %s by uid %d: %w", path, uid, ErrPermissionDenied)
+	}
+	return nil
 }
 
 // Remove deletes a file. Only the owner or root may remove it.

@@ -35,6 +35,17 @@ func New(n int) *Tree {
 // Len returns the domain size n.
 func (t *Tree) Len() int { return t.n }
 
+// Reset returns the tree to the all-zero state of a freshly built tree
+// over the same domain, without reallocating its node arrays. The
+// defender's incremental correlator reuses one tree across interface
+// types and polling windows; zeroing both the aggregate and the pending
+// lazy adds is exactly equivalent to New(n), since every query path
+// reads only those two arrays.
+func (t *Tree) Reset() {
+	clear(t.max)
+	clear(t.lazy)
+}
+
 // Add adds v to every position in [lo, hi] (inclusive). Positions outside
 // [0, n) are clamped; an empty interval after clamping is a no-op.
 func (t *Tree) Add(lo, hi int, v int64) {

@@ -79,7 +79,9 @@ func (c *Client) RegisterAs(method, pkg string, token binder.IBinder) error {
 	if err != nil {
 		return err
 	}
-	data, reply := binder.NewParcel(), binder.NewParcel()
+	data, reply := binder.ObtainParcel(), binder.ObtainParcel()
+	defer data.Recycle()
+	defer reply.Recycle()
 	data.WriteString(pkg)
 	data.WriteStrongBinder(token)
 	return c.ref.Binder().Transact(code, data, reply)
@@ -95,7 +97,9 @@ func (c *Client) RegisterPath(method, pkg string, variant int32, token binder.IB
 	if err != nil {
 		return err
 	}
-	data, reply := binder.NewParcel(), binder.NewParcel()
+	data, reply := binder.ObtainParcel(), binder.ObtainParcel()
+	defer data.Recycle()
+	defer reply.Recycle()
 	data.WriteString(pkg)
 	data.WriteInt32(variant)
 	// Path-dependent extra payload: different branches marshal different
@@ -111,7 +115,9 @@ func (c *Client) Unregister(method string) error {
 	if err != nil {
 		return err
 	}
-	data, reply := binder.NewParcel(), binder.NewParcel()
+	data, reply := binder.ObtainParcel(), binder.ObtainParcel()
+	defer data.Recycle()
+	defer reply.Recycle()
 	data.WriteString(c.pkg)
 	return c.ref.Binder().Transact(code, data, reply)
 }
@@ -123,7 +129,9 @@ func (c *Client) Call(method string) error {
 	if err != nil {
 		return err
 	}
-	data, reply := binder.NewParcel(), binder.NewParcel()
+	data, reply := binder.ObtainParcel(), binder.ObtainParcel()
+	defer data.Recycle()
+	defer reply.Recycle()
 	data.WriteString(c.pkg)
 	data.WriteStrongBinder(c.NewToken())
 	return c.ref.Binder().Transact(code, data, reply)

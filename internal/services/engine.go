@@ -538,8 +538,12 @@ func (s *Service) NotifyListeners(methodName string, payload string) int {
 	// Copy: a callback erroring can trigger death handling that mutates
 	// the entry list.
 	entries := append([]*entry(nil), s.entries[methodName]...)
+	data, reply := binder.ObtainParcel(), binder.ObtainParcel()
+	defer data.Recycle()
+	defer reply.Recycle()
 	for _, e := range entries {
-		data, reply := binder.NewParcel(), binder.NewParcel()
+		data.Reset()
+		reply.Reset()
 		data.WriteString(payload)
 		if err := e.ref.Binder().Transact(1, data, reply); err != nil {
 			continue // token binders and dead clients are expected

@@ -277,9 +277,11 @@ func (a *AppAttacker) Step() error {
 		a.failed = errors.New("workload: attacker process dead")
 		return a.failed
 	}
-	data := binder.NewParcel()
+	data := binder.ObtainParcel()
 	data.WriteStrongBinder(a.dev.Driver().NewLocalBinder(a.app.Proc(), "android.os.Binder", nil))
-	if err := a.ref.Binder().Transact(a.code, data, nil); err != nil {
+	err := a.ref.Binder().Transact(a.code, data, nil)
+	data.Recycle()
+	if err != nil {
 		a.failed = err
 		return err
 	}
