@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-json bench-profile bench-smoke ci
+.PHONY: build test vet race fuzz-smoke bench bench-json bench-profile bench-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,22 @@ bench-profile:
 
 # One iteration of every micro-benchmark: catches benchmarks that broke
 # (compile errors, fixture failures, b.Fatal) without paying full timing
-# runs in CI.
+# runs in CI. The grep asserts the telemetry-overhead comparison pair
+# actually ran — it is the guard on the instrumented hot path.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/binder ./internal/defense
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/binder ./internal/defense ./internal/telemetry \
+		| tee /tmp/jgre-bench-smoke.out
+	@grep -q 'BenchmarkTelemetryOverhead/instrumented' /tmp/jgre-bench-smoke.out \
+		|| { echo 'bench-smoke: telemetry overhead benchmark did not run'; exit 1; }
 
-ci: vet build test race fuzz-smoke bench-smoke
+# Coverage floor for the telemetry registry: the zero-alloc counters and
+# the Prometheus renderer are pure library code every layer leans on, so
+# they stay at >= 85% statement coverage.
+cover:
+	$(GO) test -cover -coverprofile=/tmp/jgre-telemetry.cover ./internal/telemetry
+	@total=$$($(GO) tool cover -func=/tmp/jgre-telemetry.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/telemetry coverage: $$total%"; \
+		awk -v t="$$total" 'BEGIN { exit (t >= 85.0) ? 0 : 1 }' \
+		|| { echo "cover: internal/telemetry coverage $$total% below 85% floor"; exit 1; }
+
+ci: vet build test race fuzz-smoke bench-smoke cover

@@ -7,7 +7,7 @@
 //
 //	jgre-run list
 //	jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n]
-//	         [-filter a,b] [-json]
+//	         [-filter a,b] [-json] [-metrics-json]
 //
 // Parallelizable scenarios (marked in jgre-run list) fan out across
 // -parallel workers; every shard runs on its own simulated device, so
@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +47,7 @@ func main() {
 	seed := fs.Int64("seed", 0, "seed label recorded in the envelope")
 	filter := fs.String("filter", "", "comma-separated sweep targets (scenario-specific; empty = all)")
 	asJSON := fs.Bool("json", false, "emit the shared result envelope as JSON")
+	metricsJSON := fs.Bool("metrics-json", false, "attach a telemetry snapshot (worker/pool counters) to the JSON envelope")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -66,7 +68,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := scenario.Params{Scale: scale, Workers: *workers, Seed: *seed}
+	p := scenario.Params{Scale: scale, Workers: *workers, Seed: *seed, Metrics: *metricsJSON}
+	if *metricsJSON {
+		// Start from a clean global registry so the snapshot covers only
+		// this run, then force JSON output (the snapshot lives in the
+		// envelope).
+		telemetry.ResetGlobal()
+		*asJSON = true
+	}
 	if *filter != "" {
 		for _, f := range strings.Split(*filter, ",") {
 			if f = strings.TrimSpace(f); f != "" {
@@ -117,5 +126,5 @@ func list() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jgre-run list
-  jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n] [-filter a,b] [-json]`)
+  jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n] [-filter a,b] [-json] [-metrics-json]`)
 }

@@ -1,0 +1,158 @@
+// Command jgre-top is the simulator's live-metrics dashboard: it boots a
+// device, drives a scenario while sampling the telemetry registry on the
+// virtual clock, then renders a dumpsys/top-style report — sparklines
+// for the sampled series, bucket bars for the latency/size histograms,
+// and the defender's span timeline when one is attached.
+//
+// Usage:
+//
+//	jgre-top [-scenario idle|benign|attack|defended] [-tick 1s] [-duration 2m] [-width 60]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/metrics/ascii"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+const jgrSeries = `jgre_jgr_table_size{process="system_server"}`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jgre-top: ")
+
+	scenarioF := flag.String("scenario", "attack", "idle | benign | attack | defended")
+	tick := flag.Duration("tick", time.Second, "virtual sampling interval")
+	duration := flag.Duration("duration", 2*time.Minute, "virtual time to simulate")
+	width := flag.Int("width", 60, "sparkline width in cells")
+	flag.Parse()
+
+	dev, err := device.Boot(device.Config{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var def *defense.Defender
+	if *scenarioF == "defended" {
+		if def, err = defense.New(dev, defense.Config{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sampler := telemetry.NewSampler(dev.Metrics(), *tick, int(*duration / *tick)+1)
+	sampler.Track(
+		jgrSeries,
+		"jgre_binder_transactions_total",
+		"jgre_binder_ring_occupancy_ratio",
+		"jgre_device_processes",
+		"jgre_defender_coverage",
+	)
+	sample := func() { sampler.MaybeSample(dev.Clock().Now()) }
+
+	switch *scenarioF {
+	case "idle":
+		// No actors: walk the clock by hand so the series still have a
+		// timeline.
+		for dev.Clock().Now() < *duration {
+			sample()
+			dev.Clock().Advance(*tick)
+		}
+	case "benign", "attack", "defended":
+		sched := workload.NewScheduler(dev)
+		pop := 15
+		if *scenarioF != "benign" {
+			pop = 10
+		}
+		if _, err := workload.Population(dev, sched, pop, 4, time.Second); err != nil {
+			log.Fatal(err)
+		}
+		if *scenarioF != "benign" {
+			evil, err := dev.Apps().Install("com.evil.app")
+			if err != nil {
+				log.Fatal(err)
+			}
+			atk, err := workload.NewAttacker(dev, evil, "clipboard.addPrimaryClipChangedListener")
+			if err != nil {
+				log.Fatal(err)
+			}
+			sched.Add(atk)
+		}
+		sched.Run(func() bool {
+			sample()
+			return dev.Clock().Now() >= *duration
+		}, 5_000_000)
+	default:
+		log.Printf("unknown scenario %q", *scenarioF)
+		os.Exit(2)
+	}
+	sample()
+
+	render(os.Stdout, dev, def, sampler, *scenarioF, *width)
+}
+
+func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *telemetry.Sampler, scen string, width int) {
+	s := dev.Stats()
+	fmt.Fprintf(w, "JGRE-TOP  scenario=%s  t=%.0fs  tick=%v  samples=%d\n",
+		scen, s.UptimeSeconds, sampler.Interval(), len(sampler.Series(jgrSeries)))
+	fmt.Fprintf(w, "procs %d  apps %d  reboots %d  lmk %d  tx %d\n\n",
+		s.Processes, s.RunningApps, s.SoftReboots, s.LMKKills, s.Transactions)
+
+	fmt.Fprintf(w, "system_server JGR  %d / %d (peak %d)  %s\n",
+		s.SystemServerJGR, s.JGRCap, s.SystemServerPeakJGR,
+		ascii.Meter(float64(s.SystemServerJGR), float64(s.JGRCap), 20))
+	spark(w, "JGR table", sampler.Values(jgrSeries), width)
+	spark(w, "tx rate/s", telemetry.Rate(sampler.Series("jgre_binder_transactions_total")), width)
+	spark(w, "ring occ.", sampler.Values("jgre_binder_ring_occupancy_ratio"), width)
+	spark(w, "processes", sampler.Values("jgre_device_processes"), width)
+
+	if h, ok := histogram(dev, "jgre_binder_tx_bytes"); ok && h.Count() > 0 {
+		fmt.Fprintf(w, "\nbinder transaction size (bytes, %d observed)\n", h.Count())
+		fmt.Fprint(w, ascii.HistogramBars(h.Bounds(), h.BucketCounts(), 40))
+	}
+
+	if def == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nDEFENDER  engagements=%d\n", len(def.History()))
+	spark(w, "coverage", sampler.Values("jgre_defender_coverage"), width)
+	if h, ok := histogram(dev, `jgre_defender_phase_seconds{phase="read"}`); ok && h.Count() > 0 {
+		fmt.Fprintf(w, "read-phase latency (s, %d windows)\n", h.Count())
+		fmt.Fprint(w, ascii.HistogramBars(h.Bounds(), h.BucketCounts(), 40))
+	}
+	spans := dev.Journal().Spans()
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "poll-window spans (last %d):\n", min(len(spans), 5))
+		for _, ev := range spans[max(0, len(spans)-5):] {
+			fmt.Fprintf(w, "  %8.1fs %s %s\n", ev.T.Seconds(), ev.Subject, ev.Detail)
+		}
+	}
+	for _, det := range def.History() {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, defense.FormatDetection(det))
+	}
+}
+
+// spark prints one labelled sparkline row with its current value.
+func spark(w *os.File, label string, values []float64, width int) {
+	cur := ""
+	if n := len(values); n > 0 {
+		cur = fmt.Sprintf("  now %g", values[n-1])
+	}
+	fmt.Fprintf(w, "%-10s %s%s\n", label, ascii.Sparkline(values, width), cur)
+}
+
+// histogram fetches an existing histogram handle from the device
+// registry without registering a new family.
+func histogram(dev *device.Device, name string) (*telemetry.Histogram, bool) {
+	if _, ok := dev.Metrics().Value(name); !ok {
+		return nil, false
+	}
+	return dev.Metrics().Histogram(name, "", nil), true
+}

@@ -222,6 +222,8 @@ type VM struct {
 	totalGlobalRemoves uint64
 	peakGlobals        int
 	gcCycles           uint64
+	framePushes        uint64
+	framePoolHits      uint64
 }
 
 // NewVM creates the runtime for the named process. clock must not be nil.
@@ -287,6 +289,16 @@ func (vm *VM) TotalGlobalRemoves() uint64 { return vm.totalGlobalRemoves }
 
 // GCCycles returns how many GC cycles have run.
 func (vm *VM) GCCycles() uint64 { return vm.gcCycles }
+
+// FramePushes returns the cumulative number of JNI local frames entered —
+// one per dispatched transaction, so it doubles as this runtime's
+// inbound-call count and is the "local-frame churn" series telemetry
+// exposes.
+func (vm *VM) FramePushes() uint64 { return vm.framePushes }
+
+// FramePoolHits returns how many frame pushes were served from the
+// recycled-frame pool rather than allocating a fresh table.
+func (vm *VM) FramePoolHits() uint64 { return vm.framePoolHits }
 
 // AddJGRHook registers a hook observing global-table mutations. Hooks run
 // synchronously in table-operation order. This is the attachment point of
@@ -428,7 +440,9 @@ func (vm *VM) AddLocalRef(obj *Object) (IndirectRef, error) {
 // §II-A: "JNI local references ... are automatically freed after the
 // native method returns").
 func (vm *VM) PushLocalFrame() {
+	vm.framePushes++
 	if n := len(vm.framePool); n > 0 {
+		vm.framePoolHits++
 		fr := vm.framePool[n-1]
 		vm.framePool[n-1] = nil
 		vm.framePool = vm.framePool[:n-1]

@@ -6,11 +6,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/art"
 	"repro/internal/faults"
 	"repro/internal/kernel"
+	"repro/internal/telemetry"
 )
 
 // LogPath is the procfs file the extended driver writes IPC records to
@@ -266,6 +268,11 @@ type Driver struct {
 	// transient local refs) can share one header instead of allocating a
 	// fresh Object per reference.
 	scratchObj art.Object
+
+	// txBytes is the only push-based instrument on the transact hot path
+	// (nil when Config.Metrics is unset): a fixed-bucket payload-size
+	// histogram, one branch + one atomic-scan observation per call.
+	txBytes *telemetry.Histogram
 }
 
 type clockIface interface {
@@ -286,6 +293,12 @@ type Config struct {
 	// trajectory as one without; only the evidence the defender sees
 	// degrades.
 	Faults *faults.Injector
+
+	// Metrics, when non-nil, is the registry the driver instruments
+	// itself into. Almost everything is pull-based (gauge callbacks over
+	// counters the driver already keeps), so the per-transaction cost of
+	// instrumentation is one histogram observation.
+	Metrics *telemetry.Registry
 }
 
 // New creates a driver attached to the kernel; it observes process deaths
@@ -310,7 +323,62 @@ func New(k *kernel.Kernel, cfg Config) *Driver {
 		byUid:        make(map[kernel.Uid][]int),
 	}
 	k.OnKill(func(p *kernel.Process, _ string) { d.onProcessDeath(p) })
+	if reg := cfg.Metrics; reg != nil {
+		d.txBytes = reg.Histogram("jgre_binder_tx_bytes",
+			"Binder transaction payload sizes in bytes.", telemetry.SizeBuckets)
+		d.registerMetrics(reg)
+	}
 	return d
+}
+
+// registerMetrics wires the driver's pull gauges: every series reads a
+// counter the driver keeps anyway, so rendering /proc/jgre_metrics is
+// the only time these cost anything.
+func (d *Driver) registerMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("jgre_binder_transactions_total",
+		"Cross-process binder transactions dispatched since boot.",
+		func() float64 { return float64(d.totalTx) })
+	reg.GaugeFunc("jgre_binder_log_seq_total",
+		"IPC log sequence numbers issued (every transaction that should have been recorded).",
+		func() float64 { return float64(d.logSeq) })
+	reg.GaugeFunc("jgre_binder_log_logged_total",
+		"IPC records accepted into the pending log buffer.",
+		func() float64 { return float64(d.totalLogged) })
+	reg.GaugeFunc("jgre_binder_log_dropped_rate_total",
+		"IPC records lost to injected per-record drops.",
+		func() float64 { return float64(d.droppedFault) })
+	reg.GaugeFunc("jgre_binder_log_ring_evictions_total",
+		"IPC records evicted by bounded-ring overflow.",
+		func() float64 { return float64(d.droppedRing) })
+	reg.GaugeFunc("jgre_binder_log_read_errors_total",
+		"Injected IPC log read failures observed by readers.",
+		func() float64 { return float64(d.readErrs) })
+	reg.GaugeFunc("jgre_binder_log_pending",
+		"IPC records buffered awaiting flush (ring occupancy when bounded).",
+		func() float64 { return float64(d.pending.len()) })
+	reg.GaugeFunc("jgre_binder_log_flushed",
+		"IPC records currently in the flushed procfs log.",
+		func() float64 { return float64(len(d.flushed)) })
+	reg.GaugeFunc("jgre_binder_ring_occupancy_ratio",
+		"Pending-ring fill fraction; NaN-free zero when the buffer is unbounded.",
+		func() float64 {
+			if in := d.cfg.Faults; in != nil && in.RingCapacity() > 0 {
+				return float64(d.pending.len()) / float64(in.RingCapacity())
+			}
+			return 0
+		})
+	reg.GaugeFunc("jgre_binder_parcel_pool_gets_total",
+		"ObtainParcel calls (process-wide; the pool is shared).",
+		func() float64 { g, _ := ParcelPoolStats(); return float64(g) })
+	reg.GaugeFunc("jgre_binder_parcel_pool_misses_total",
+		"ObtainParcel calls that allocated instead of reusing (process-wide).",
+		func() float64 { _, m := ParcelPoolStats(); return float64(m) })
+	reg.GaugeFunc("jgre_binder_call_pool_gets_total",
+		"Call-frame pool gets (process-wide).",
+		func() float64 { g, _ := CallPoolStats(); return float64(g) })
+	reg.GaugeFunc("jgre_binder_call_pool_misses_total",
+		"Call-frame pool misses (process-wide).",
+		func() float64 { _, m := CallPoolStats(); return float64(m) })
 }
 
 // Kernel returns the kernel the driver serves.
@@ -444,6 +512,9 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 
 	d.clock.Advance(d.cfg.Latency.cost(size))
 	d.totalTx++
+	if d.txBytes != nil {
+		d.txBytes.Observe(float64(size))
+	}
 	if d.logging {
 		// The log write always charges its virtual-time cost — loss
 		// happens downstream of the write — so the simulation trajectory
@@ -529,10 +600,28 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 
 // callPool recycles Call frames across transactions. Handlers must not
 // retain the *Call past OnTransact — the same contract Binder.onTransact
-// has with its transaction buffers.
-var callPool = sync.Pool{New: func() any { return new(Call) }}
+// has with its transaction buffers. Like parcelPool, gets and misses
+// are counted process-wide for the pool-hit-rate gauges.
+var (
+	callPoolGets   atomic.Uint64
+	callPoolMisses atomic.Uint64
 
-func obtainCall() *Call { return callPool.Get().(*Call) }
+	callPool = sync.Pool{New: func() any {
+		callPoolMisses.Add(1)
+		return new(Call)
+	}}
+)
+
+// CallPoolStats returns the process-wide count of Call-frame pool gets
+// and misses.
+func CallPoolStats() (gets, misses uint64) {
+	return callPoolGets.Load(), callPoolMisses.Load()
+}
+
+func obtainCall() *Call {
+	callPoolGets.Add(1)
+	return callPool.Get().(*Call)
+}
 
 func recycleCall(c *Call) {
 	*c = Call{}

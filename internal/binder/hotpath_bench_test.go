@@ -6,6 +6,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // benchRig builds a minimal logged two-process device for hot-path
@@ -21,11 +22,11 @@ type benchRig struct {
 	svc    *BinderRef
 }
 
-func newBenchRig(b *testing.B, fcfg faults.Config, seed int64) *benchRig {
+func newBenchRig(b *testing.B, fcfg faults.Config, seed int64, reg *telemetry.Registry) *benchRig {
 	b.Helper()
 	clock := simclock.New()
 	k := kernel.New(clock, kernel.Config{})
-	cfg := Config{}
+	cfg := Config{Metrics: reg}
 	if fcfg.Enabled() {
 		cfg.Faults = faults.New(fcfg, seed)
 	}
@@ -80,7 +81,7 @@ func (r *benchRig) floodOnce(b *testing.B) {
 // append evicts — the flood-scale eviction path.
 func BenchmarkTransactLogged(b *testing.B) {
 	b.Run("unbounded", func(b *testing.B) {
-		r := newBenchRig(b, faults.Config{}, 1)
+		r := newBenchRig(b, faults.Config{}, 1, nil)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -98,7 +99,7 @@ func BenchmarkTransactLogged(b *testing.B) {
 		}
 	})
 	b.Run("ring-flood", func(b *testing.B) {
-		r := newBenchRig(b, faults.Config{RingCapacity: 4096}, 1)
+		r := newBenchRig(b, faults.Config{RingCapacity: 4096}, 1, nil)
 		// Pre-fill the ring so every timed append evicts.
 		for i := 0; i < 4096; i++ {
 			r.floodOnce(b)
@@ -111,11 +112,32 @@ func BenchmarkTransactLogged(b *testing.B) {
 	})
 }
 
+// BenchmarkTelemetryOverhead compares the logged transact hot path with
+// and without a metrics registry attached. The instrumented variant adds
+// one histogram observation (plus the pull-gauge registrations, which
+// cost nothing per call); the budget is ≤5% over bare — compare the two
+// sub-benchmark ns/op by hand or with benchstat.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, reg *telemetry.Registry) {
+		r := newBenchRig(b, faults.Config{RingCapacity: 4096}, 1, reg)
+		for i := 0; i < 4096; i++ {
+			r.floodOnce(b)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.floodOnce(b)
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, telemetry.NewRegistry()) })
+}
+
 // BenchmarkReadLogWindow measures the defender's evidence-window read: a
 // flushed log populated by two interleaved victims, from which the reader
 // extracts one victim's records.
 func BenchmarkReadLogWindow(b *testing.B) {
-	r := newBenchRig(b, faults.Config{}, 1)
+	r := newBenchRig(b, faults.Config{}, 1, nil)
 	// A second victim service on its own process; its records must be
 	// filtered out of the window.
 	other := r.k.Spawn(kernel.SpawnConfig{

@@ -17,6 +17,8 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/device"
 	"repro/internal/kernel"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Defaults from the paper.
@@ -212,8 +214,61 @@ type Defender struct {
 	// Only the single-goroutine monitor path may use it; the public
 	// Score/ScoreWithDelta stay stateless for concurrent callers.
 	corr correlator
+	// corrRounds counts completed corr.score runs; rounds past the first
+	// are correlator-reuse hits (the buckets/segtree were recycled).
+	corrRounds uint64
+	// met holds the defender's instrument handles on the device registry.
+	met defenderMetrics
 	// OnDetection, if set, observes each engagement after recovery.
 	OnDetection func(Detection)
+}
+
+// defenderMetrics are the defense layer's instruments: engagement
+// counters, degradation ledgers, last-window coverage and the
+// per-phase virtual-time histograms behind the poll-window spans.
+type defenderMetrics struct {
+	engagements      *telemetry.Counter
+	kills            *telemetry.Counter
+	fallbacks        *telemetry.Counter
+	readRetries      *telemetry.Counter
+	analysisRestarts *telemetry.Counter
+	guardStops       *telemetry.Counter
+	corrReuse        *telemetry.Counter
+	coverage         *telemetry.Gauge
+
+	phaseRead      *telemetry.Histogram
+	phaseCorrelate *telemetry.Histogram
+	phaseScore     *telemetry.Histogram
+	phaseDecide    *telemetry.Histogram
+}
+
+func newDefenderMetrics(reg *telemetry.Registry) defenderMetrics {
+	phase := func(name string) *telemetry.Histogram {
+		return reg.Histogram(fmt.Sprintf("jgre_defender_phase_seconds{phase=%q}", name),
+			"Virtual-time spent per poll-window phase.", nil)
+	}
+	return defenderMetrics{
+		engagements: reg.Counter("jgre_defender_engagements_total",
+			"Defender engagements (poll windows that ran Algorithm 1)."),
+		kills: reg.Counter("jgre_defender_kills_total",
+			"Apps force-stopped by the recovery loop."),
+		fallbacks: reg.Counter("jgre_defender_fallbacks_total",
+			"Engagements that blended in retained-ref fallback attribution."),
+		readRetries: reg.Counter("jgre_defender_read_retries_total",
+			"Evidence-read retries across all engagements."),
+		analysisRestarts: reg.Counter("jgre_defender_analysis_restarts_total",
+			"Mid-analysis failures that were retried."),
+		guardStops: reg.Counter("jgre_defender_guard_stops_total",
+			"Kill candidates skipped by the innocent-kill guard."),
+		corrReuse: reg.Counter("jgre_defender_correlator_reuse_total",
+			"Poll windows scored on recycled correlator state."),
+		coverage: reg.Gauge("jgre_defender_coverage",
+			"Delivered/generated record fraction of the latest engagement window."),
+		phaseRead:      phase("read"),
+		phaseCorrelate: phase("correlate"),
+		phaseScore:     phase("score"),
+		phaseDecide:    phase("decide"),
+	}
 }
 
 // monitor is the per-process runtime extension.
@@ -238,9 +293,27 @@ func New(dev *device.Device, cfg Config) (*Defender, error) {
 	if err := dev.Driver().EnableIPCLogging(); err != nil {
 		return nil, fmt.Errorf("defense: enabling IPC logging: %w", err)
 	}
+	d.met = newDefenderMetrics(dev.Metrics())
+	dev.SetDefenderHealth(d.health)
 	d.attachAll()
 	dev.OnReboot(func(string) { d.attachAll() })
 	return d, nil
+}
+
+// health is the device.Stats provider: cumulative degradation counters
+// plus the most recent engagement's coverage/fallback verdict.
+func (d *Defender) health() device.DefenderHealth {
+	h := device.DefenderHealth{Detections: len(d.history)}
+	for _, det := range d.history {
+		h.ReadRetries += det.ReadRetries
+		h.AnalysisRestarts += det.AnalysisRestarts
+		h.GuardStops += det.GuardStops
+	}
+	if n := len(d.history); n > 0 {
+		h.Coverage = d.history[n-1].Coverage
+		h.FallbackUsed = d.history[n-1].FallbackUsed
+	}
+	return h
 }
 
 // attachAll monitors system_server, the dedicated service hosts and the
@@ -341,6 +414,11 @@ func (m *monitor) respond() {
 	}
 
 	records, err := d.readRecordsWithRetry(&det, m.proc.Pid())
+	// Phase marks for the poll-window span, all in virtual time: a phase
+	// that advanced no virtual time honestly measures zero (the in-memory
+	// score step, most decide steps).
+	tRead := d.dev.Clock().Now()
+	tCorrelate, tScore := tRead, tRead
 
 	// Window telemetry health: what fraction of the records the driver
 	// generated since the last engagement actually survived to the file.
@@ -358,10 +436,17 @@ func (m *monitor) respond() {
 		det.EffectiveDelta = d.effectiveDelta(records)
 		start := d.dev.Clock().Now()
 		d.chargeAnalysis(records)
-		if d.surviveAnalysisFaults(&det) {
+		survived := d.surviveAnalysisFaults(&det)
+		tCorrelate = d.dev.Clock().Now()
+		if survived {
+			if d.corrRounds > 0 {
+				d.met.corrReuse.Inc()
+			}
 			det.Scores = d.corr.score(d, records, m.addTimes, det.EffectiveDelta)
+			d.corrRounds++
 			scored = true
 		}
+		tScore = d.dev.Clock().Now()
 		det.AnalysisTime = d.dev.Clock().Now() - start
 		if d.cfg.KeepRaw {
 			det.RawRecords = append([]binder.IPCRecord(nil), records...)
@@ -421,6 +506,34 @@ func (m *monitor) respond() {
 	_ = d.dev.Driver().TruncateLog()
 	d.lastStats = d.dev.Driver().LogStats()
 	d.history = append(d.history, det)
+
+	end := d.dev.Clock().Now()
+	d.met.engagements.Inc()
+	d.met.kills.Add(uint64(len(det.Killed)))
+	d.met.readRetries.Add(uint64(det.ReadRetries))
+	d.met.analysisRestarts.Add(uint64(det.AnalysisRestarts))
+	d.met.guardStops.Add(uint64(det.GuardStops))
+	if det.FallbackUsed {
+		d.met.fallbacks.Inc()
+	}
+	d.met.coverage.Set(det.Coverage)
+	phases := []trace.Phase{
+		{Name: "read", D: tRead - det.EngagedAt},
+		{Name: "correlate", D: tCorrelate - tRead},
+		{Name: "score", D: tScore - tCorrelate},
+		{Name: "decide", D: end - tScore},
+	}
+	d.met.phaseRead.Observe(phases[0].D.Seconds())
+	d.met.phaseCorrelate.Observe(phases[1].D.Seconds())
+	d.met.phaseScore.Observe(phases[2].D.Seconds())
+	d.met.phaseDecide.Observe(phases[3].D.Seconds())
+	d.dev.Journal().AddSpan(trace.Span{
+		Name:   "defender.poll",
+		Start:  det.EngagedAt,
+		End:    end,
+		Phases: phases,
+	})
+
 	if d.OnDetection != nil {
 		d.OnDetection(det)
 	}

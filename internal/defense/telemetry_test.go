@@ -1,0 +1,146 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runDefendedAttack drives one attack to its first engagement and
+// returns the rig for telemetry assertions.
+func runDefendedAttack(t *testing.T) *defRig {
+	t.Helper()
+	r := newDefRig(t, smallCfg(), 10)
+	evil, err := r.dev.Apps().Install("com.evil.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := workload.NewAttacker(r.dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Add(atk)
+	r.sched.Run(func() bool { return len(r.def.History()) > 0 }, 200000)
+	if len(r.def.History()) == 0 {
+		t.Fatal("defender never engaged")
+	}
+	return r
+}
+
+func TestEngagementEmitsSpan(t *testing.T) {
+	r := runDefendedAttack(t)
+
+	spans := r.dev.Journal().Spans()
+	if len(spans) != len(r.def.History()) {
+		t.Fatalf("spans = %d, want one per engagement (%d)", len(spans), len(r.def.History()))
+	}
+	sp := spans[0]
+	if sp.Subject != "defender.poll" {
+		t.Fatalf("span subject = %q, want defender.poll", sp.Subject)
+	}
+	if sp.T != r.def.History()[0].EngagedAt {
+		t.Fatalf("span stamped at %v, want engagement time %v", sp.T, r.def.History()[0].EngagedAt)
+	}
+	for _, phase := range []string{"dur=", "read=", "correlate=", "score=", "decide="} {
+		if !strings.Contains(sp.Detail, phase) {
+			t.Fatalf("span detail %q missing %q", sp.Detail, phase)
+		}
+	}
+}
+
+func TestSpanPhasesSumToDuration(t *testing.T) {
+	s := trace.Span{
+		Name:  "defender.poll",
+		Start: 0,
+		End:   100,
+		Phases: []trace.Phase{
+			{Name: "read", D: 40},
+			{Name: "correlate", D: 60},
+			{Name: "score", D: 0},
+			{Name: "decide", D: 0},
+		},
+	}
+	var sum int64
+	for _, p := range s.Phases {
+		sum += int64(p.D)
+	}
+	if sum != int64(s.Duration()) {
+		t.Fatalf("phase sum %d != duration %d", sum, s.Duration())
+	}
+}
+
+func TestEngagementMetrics(t *testing.T) {
+	r := runDefendedAttack(t)
+	reg := r.dev.Metrics()
+	det := r.def.History()[0]
+
+	if v, ok := reg.Value("jgre_defender_engagements_total"); !ok || v < 1 {
+		t.Fatalf("engagements_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, _ := reg.Value("jgre_defender_kills_total"); v != float64(len(det.Killed)) {
+		t.Fatalf("kills_total = %v, want %d", v, len(det.Killed))
+	}
+	if v, _ := reg.Value("jgre_defender_coverage"); v != det.Coverage {
+		t.Fatalf("coverage gauge = %v, want %v", v, det.Coverage)
+	}
+	// The four phase histograms saw exactly one observation per
+	// engagement.
+	for _, phase := range []string{"read", "correlate", "score", "decide"} {
+		name := `jgre_defender_phase_seconds{phase="` + phase + `"}`
+		if v, ok := reg.Value(name); !ok || v != float64(len(r.def.History())) {
+			t.Fatalf("%s count = %v (ok=%v), want %d", name, v, ok, len(r.def.History()))
+		}
+	}
+}
+
+func TestDefenderHealthInStats(t *testing.T) {
+	r := runDefendedAttack(t)
+	det := r.def.History()[len(r.def.History())-1]
+
+	s := r.dev.Stats()
+	if s.Defender == nil {
+		t.Fatal("Stats.Defender = nil with a defender attached")
+	}
+	if s.Defender.Detections != len(r.def.History()) {
+		t.Fatalf("Detections = %d, want %d", s.Defender.Detections, len(r.def.History()))
+	}
+	if s.Defender.Coverage != det.Coverage {
+		t.Fatalf("Coverage = %v, want %v", s.Defender.Coverage, det.Coverage)
+	}
+	if s.Defender.FallbackUsed != det.FallbackUsed {
+		t.Fatalf("FallbackUsed = %v, want %v", s.Defender.FallbackUsed, det.FallbackUsed)
+	}
+
+	var b strings.Builder
+	r.dev.DumpState(&b)
+	if !strings.Contains(b.String(), "defender:") {
+		t.Fatal("DumpState missing defender health line")
+	}
+}
+
+func TestMetricsProcFileDuringAttack(t *testing.T) {
+	r := runDefendedAttack(t)
+	fs := r.dev.Kernel().ProcFS()
+
+	out, err := fs.Read("/proc/jgre_metrics", kernel.RootUid)
+	if err != nil {
+		t.Fatalf("root read: %v", err)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"# TYPE jgre_defender_engagements_total counter",
+		"jgre_defender_attached 1",
+		`jgre_jgr_table_size{process="system_server"}`,
+		"jgre_binder_tx_bytes_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/proc/jgre_metrics missing %q", want)
+		}
+	}
+	if _, err := fs.Read("/proc/jgre_metrics", kernel.FirstAppUid); err == nil {
+		t.Fatal("app uid could read /proc/jgre_metrics; want ACL denial")
+	}
+}

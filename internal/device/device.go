@@ -18,6 +18,7 @@ import (
 	"repro/internal/permissions"
 	"repro/internal/services"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -122,6 +123,12 @@ type Device struct {
 	broadcastSeq uint64
 	onReboot     []func(reason string)
 	journal      *trace.Journal
+
+	// metrics is the device's telemetry registry, rendered on demand
+	// through /proc/jgre_metrics; defenderHealth is the defense layer's
+	// health provider (nil until a defender attaches).
+	metrics        *telemetry.Registry
+	defenderHealth func() DefenderHealth
 }
 
 type handleEntry struct {
@@ -186,6 +193,12 @@ func Boot(cfg Config) (*Device, error) {
 		}
 		dcfg.Faults = faults.New(cfg.Faults, cfg.Seed)
 	}
+	// The registry lives on the local copy of the driver config so the
+	// stored BootConfig round-trips without carrying registry state.
+	d.metrics = telemetry.NewRegistry()
+	if dcfg.Metrics == nil {
+		dcfg.Metrics = d.metrics
+	}
 	d.driver = binder.New(d.kern, dcfg)
 	d.sm = binder.NewServiceManager(d.driver)
 	d.perms = permissions.NewManager()
@@ -207,6 +220,10 @@ func Boot(cfg Config) (*Device, error) {
 		}
 	}
 	d.spawnBaselineFillers()
+	d.registerMetrics()
+	if err := d.kern.ProcFS().CreateProvider(MetricsPath, kernel.RootUid, false, d.metrics.RenderProm); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 

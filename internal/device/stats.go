@@ -29,6 +29,14 @@ type Stats struct {
 	IPCLogDropped     uint64
 	IPCLogRingDropped uint64
 	IPCLogReadErrors  uint64
+	// TraceDropped is how many journal events the bounded trace ring
+	// silently evicted — nonzero means the forensic timeline is
+	// incomplete and post-mortem tooling should say so.
+	TraceDropped int
+	// Defender carries the defense layer's self-reported health when one
+	// is attached (nil otherwise): last-window coverage, whether fallback
+	// attribution was used, and the cumulative degradation counters.
+	Defender *DefenderHealth
 }
 
 // Stats snapshots the device.
@@ -40,6 +48,11 @@ func (d *Device) Stats() Stats {
 		}
 	}
 	ls := d.driver.LogStats()
+	var health *DefenderHealth
+	if d.defenderHealth != nil {
+		h := d.defenderHealth()
+		health = &h
+	}
 	return Stats{
 		UptimeSeconds:       d.clock.Now().Seconds(),
 		Processes:           d.kern.RunningCount(),
@@ -55,6 +68,8 @@ func (d *Device) Stats() Stats {
 		IPCLogDropped:       ls.DroppedRate,
 		IPCLogRingDropped:   ls.DroppedRing,
 		IPCLogReadErrors:    ls.ReadErrors,
+		TraceDropped:        d.journal.Dropped(),
+		Defender:            health,
 	}
 }
 
@@ -70,6 +85,13 @@ func (d *Device) DumpState(w io.Writer) {
 	if s.IPCLogSeq > 0 {
 		fmt.Fprintf(w, "  ipc log: %d records, %d dropped, %d ring-evicted, %d read errors\n",
 			s.IPCLogSeq, s.IPCLogDropped, s.IPCLogRingDropped, s.IPCLogReadErrors)
+	}
+	if s.TraceDropped > 0 {
+		fmt.Fprintf(w, "  trace journal: %d events evicted (timeline incomplete)\n", s.TraceDropped)
+	}
+	if h := s.Defender; h != nil {
+		fmt.Fprintf(w, "  defender: %d detections, last coverage %.2f, fallback %v, %d read retries, %d analysis restarts, %d guard stops\n",
+			h.Detections, h.Coverage, h.FallbackUsed, h.ReadRetries, h.AnalysisRestarts, h.GuardStops)
 	}
 
 	type svcLoad struct {

@@ -95,6 +95,41 @@ type Injector struct {
 	seed     uint64
 	reads    uint64
 	analyses uint64
+
+	recordDrops    uint64
+	readFaults     uint64
+	analysisFaults uint64
+}
+
+// Stats is the injector's own ledger of what it did: decisions that
+// actually injected a fault versus the attempts it was consulted on.
+// Together with the binder driver's LogStats (the delivered side) this
+// gives the injected-vs-delivered view the telemetry layer exports.
+type Stats struct {
+	// RecordDrops counts DropRecord decisions that dropped the record.
+	RecordDrops uint64
+	// ReadAttempts / ReadFaults count log-read attempts and how many the
+	// injector failed.
+	ReadAttempts uint64
+	ReadFaults   uint64
+	// AnalysisAttempts / AnalysisFaults count defender analysis attempts
+	// and injected mid-run deaths.
+	AnalysisAttempts uint64
+	AnalysisFaults   uint64
+}
+
+// Stats returns the injector's cumulative fault ledger. Counting is
+// observational only — it never feeds back into a fault decision, so
+// the injected fault sequence for a given seed is unchanged by who
+// reads the stats.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		RecordDrops:      in.recordDrops,
+		ReadAttempts:     in.reads,
+		ReadFaults:       in.readFaults,
+		AnalysisAttempts: in.analyses,
+		AnalysisFaults:   in.analysisFaults,
+	}
 }
 
 // New builds an injector keyed off the device seed. It panics on an
@@ -120,9 +155,11 @@ func (in *Injector) RingCapacity() int { return in.cfg.RingCapacity }
 // sequence prefix agree on every drop regardless of what else happened.
 func (in *Injector) DropRecord(seq uint64) bool {
 	if in.cfg.BurstEvery > 0 && int((seq-1)%uint64(in.cfg.BurstEvery)) < in.cfg.BurstLen {
+		in.recordDrops++
 		return true
 	}
 	if in.cfg.DropRate > 0 && unit(in.seed, seq, 0x01) < in.cfg.DropRate {
+		in.recordDrops++
 		return true
 	}
 	return false
@@ -148,6 +185,7 @@ func (in *Injector) LogTimestamp(t time.Duration, seq uint64) time.Duration {
 func (in *Injector) ReadError() error {
 	in.reads++
 	if cadenceFault(in.cfg.ReadFailEvery, in.reads) {
+		in.readFaults++
 		return ErrInjectedRead
 	}
 	return nil
@@ -157,7 +195,11 @@ func (in *Injector) ReadError() error {
 // dies mid-run.
 func (in *Injector) AnalysisFault() bool {
 	in.analyses++
-	return cadenceFault(in.cfg.AnalysisFailEvery, in.analyses)
+	if cadenceFault(in.cfg.AnalysisFailEvery, in.analyses) {
+		in.analysisFaults++
+		return true
+	}
+	return false
 }
 
 // cadenceFault implements the shared failure cadence: every=1 always

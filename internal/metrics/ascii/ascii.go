@@ -1,0 +1,147 @@
+// Package ascii renders compact terminal visualisations for telemetry
+// series: one-line sparklines for sampled gauges and horizontal bar
+// charts for histogram buckets. It is the drawing layer behind
+// cmd/jgre-top's dumpsys-style dashboard, kept free of any dependency on
+// the registry so tests can feed it raw values.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block-element levels a sparkline cell can
+// take, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character graph at most
+// width cells wide (width <= 0 selects 60). Longer inputs are
+// downsampled by bucket-maximum so short spikes stay visible; NaN and
+// ±Inf samples are skipped. An empty or all-unplottable input renders
+// "(no data)"; a flat series renders at the lowest level.
+func Sparkline(values []float64, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	clean := values[:0:0]
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return "(no data)"
+	}
+	if len(clean) > width {
+		clean = downsampleMax(clean, width)
+	}
+	lo, hi := clean[0], clean[0]
+	for _, v := range clean {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range clean {
+		level := 0
+		if span > 0 {
+			level = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// downsampleMax reduces values to width buckets, keeping each bucket's
+// maximum.
+func downsampleMax(values []float64, width int) []float64 {
+	out := make([]float64, 0, width)
+	for i := 0; i < width; i++ {
+		start := i * len(values) / width
+		end := (i + 1) * len(values) / width
+		if end <= start {
+			end = start + 1
+		}
+		max := values[start]
+		for _, v := range values[start+1 : end] {
+			if v > max {
+				max = v
+			}
+		}
+		out = append(out, max)
+	}
+	return out
+}
+
+// HistogramBars renders one horizontal bar per histogram bucket,
+// labelled with its upper bound, the longest bar width cells wide
+// (width <= 0 selects 40). bounds carries the finite upper bounds;
+// counts must have len(bounds)+1 entries (the last is the +Inf
+// overflow). Empty histograms render "(no observations)"; mismatched
+// inputs render an error marker rather than panicking mid-dashboard.
+func HistogramBars(bounds []float64, counts []uint64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	if len(counts) != len(bounds)+1 {
+		return fmt.Sprintf("(malformed histogram: %d bounds, %d counts)", len(bounds), len(counts))
+	}
+	var total, max uint64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return "(no observations)"
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		label := "+Inf"
+		if i < len(bounds) {
+			label = formatBound(bounds[i])
+		}
+		bar := int(math.Round(float64(c) / float64(max) * float64(width)))
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%10s |%-*s| %d\n", "<="+label, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// formatBound prints a bucket bound compactly (no trailing zeros, no
+// scientific notation for the ranges the registry uses).
+func formatBound(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Meter renders a bounded gauge as a filled bar with a percentage, e.g.
+// "[#####.....] 50.0%". A non-positive or unplottable max renders the
+// raw value alone.
+func Meter(value, max float64, width int) string {
+	if width <= 0 {
+		width = 20
+	}
+	if max <= 0 || math.IsNaN(max) || math.IsInf(max, 0) || math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Sprintf("%g", value)
+	}
+	frac := value / max
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(math.Round(frac * float64(width)))
+	return fmt.Sprintf("[%s%s] %.1f%%", strings.Repeat("#", fill), strings.Repeat(".", width-fill), 100*frac)
+}

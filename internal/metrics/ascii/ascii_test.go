@@ -1,0 +1,130 @@
+package ascii
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name   string
+		values []float64
+		width  int
+		want   string
+	}{
+		{"empty", nil, 10, "(no data)"},
+		{"all NaN", []float64{nan, nan}, 10, "(no data)"},
+		{"all Inf", []float64{inf, -inf}, 10, "(no data)"},
+		{"single point", []float64{42}, 10, "▁"},
+		{"flat series", []float64{5, 5, 5}, 10, "▁▁▁"},
+		{"ramp", []float64{0, 1, 2, 3, 4, 5, 6, 7}, 10, "▁▂▃▄▅▆▇█"},
+		{"NaN skipped mid-series", []float64{0, nan, 7}, 10, "▁█"},
+		{"Inf skipped mid-series", []float64{0, inf, 7, -inf}, 10, "▁█"},
+		{"negative values", []float64{-7, 0}, 10, "▁█"},
+		{"downsampled keeps spike", []float64{0, 0, 0, 9, 0, 0, 0, 0}, 4, "▁█▁▁"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Sparkline(tc.values, tc.width); got != tc.want {
+				t.Fatalf("Sparkline(%v, %d) = %q, want %q", tc.values, tc.width, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSparklineDefaultWidth(t *testing.T) {
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	got := Sparkline(values, 0)
+	if n := len([]rune(got)); n != 60 {
+		t.Fatalf("default-width sparkline has %d cells, want 60", n)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		counts []uint64
+		want   []string // substrings that must appear
+		exact  string   // full expected output when non-empty
+	}{
+		{
+			name: "empty", bounds: []float64{1, 2}, counts: []uint64{0, 0, 0},
+			exact: "(no observations)",
+		},
+		{
+			name: "mismatched", bounds: []float64{1}, counts: []uint64{1},
+			exact: "(malformed histogram: 1 bounds, 1 counts)",
+		},
+		{
+			name: "basic", bounds: []float64{1, 10}, counts: []uint64{4, 2, 0},
+			want: []string{"<=1 |", "<=10 |", "<=+Inf |", "| 4\n", "| 2\n", "| 0\n"},
+		},
+		{
+			name: "fractional bound label", bounds: []float64{0.005}, counts: []uint64{1, 0},
+			want: []string{"<=0.005"},
+		},
+		{
+			name: "tiny count still visible", bounds: []float64{1}, counts: []uint64{1000, 1},
+			want: []string{"<=+Inf |#", "| 1\n"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := HistogramBars(tc.bounds, tc.counts, 20)
+			if tc.exact != "" {
+				if got != tc.exact {
+					t.Fatalf("got %q, want %q", got, tc.exact)
+				}
+				return
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Fatalf("output missing %q:\n%s", w, got)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramBarsScaling(t *testing.T) {
+	out := HistogramBars([]float64{1}, []uint64{10, 5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("#", 10)) {
+		t.Fatalf("max bucket not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 5)) || strings.Contains(lines[1], strings.Repeat("#", 6)) {
+		t.Fatalf("half bucket not half width: %q", lines[1])
+	}
+}
+
+func TestMeter(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name       string
+		value, max float64
+		want       string
+	}{
+		{"half", 5, 10, "[#####.....] 50.0%"},
+		{"overflow clamps", 15, 10, "[##########] 100.0%"},
+		{"negative clamps", -3, 10, "[..........] 0.0%"},
+		{"zero max falls back", 7, 0, "7"},
+		{"NaN max falls back", 7, nan, "7"},
+		{"NaN value falls back", nan, 10, "NaN"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Meter(tc.value, tc.max, 10); got != tc.want {
+				t.Fatalf("Meter(%v, %v) = %q, want %q", tc.value, tc.max, got, tc.want)
+			}
+		})
+	}
+}

@@ -63,8 +63,7 @@ func Write(w io.Writer, in Input) error {
 	if len(in.Detections) > 0 {
 		writeDetections(p, in.Detections)
 	}
-	if in.Telemetry != nil && in.Telemetry.IPCLogSeq > 0 {
-		s := in.Telemetry
+	if s := in.Telemetry; s != nil && (s.IPCLogSeq > 0 || s.TraceDropped > 0 || s.Defender != nil) {
 		p("## Telemetry health\n\n")
 		p("| Counter | Value |\n|---|---|\n")
 		p("| IPC-log records generated | %d |\n", s.IPCLogSeq)
@@ -72,7 +71,23 @@ func Write(w io.Writer, in Input) error {
 		p("| Lost to ring-buffer eviction | %d |\n", s.IPCLogRingDropped)
 		p("| Failed log reads | %d |\n", s.IPCLogReadErrors)
 		p("| Binder transactions total | %d |\n", s.Transactions)
+		p("| Trace-journal events evicted | %d |\n", s.TraceDropped)
 		p("\n")
+		if s.TraceDropped > 0 {
+			p("> %d journal events were evicted by the bounded trace ring: the forensic\n", s.TraceDropped)
+			p("> timeline in this report is incomplete.\n\n")
+		}
+		if h := s.Defender; h != nil {
+			p("### Defender health\n\n")
+			p("| Indicator | Value |\n|---|---|\n")
+			p("| Engagements | %d |\n", h.Detections)
+			p("| Last-window coverage | %.2f |\n", h.Coverage)
+			p("| Fallback attribution (last window) | %v |\n", h.FallbackUsed)
+			p("| Log-read retries (cumulative) | %d |\n", h.ReadRetries)
+			p("| Analysis restarts (cumulative) | %d |\n", h.AnalysisRestarts)
+			p("| Innocent-kill guard stops (cumulative) | %d |\n", h.GuardStops)
+			p("\n")
+		}
 	}
 	if len(in.Thresholds) > 0 {
 		p("## Defender threshold ablation\n\n")

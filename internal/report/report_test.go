@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/defense"
+	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 )
@@ -107,5 +108,59 @@ func TestWriteAblationSections(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
 		}
+	}
+}
+
+func TestWriteTelemetryHealthSection(t *testing.T) {
+	var sb strings.Builder
+	err := Write(&sb, Input{
+		Telemetry: &device.Stats{
+			IPCLogSeq: 9000, IPCLogDropped: 120, IPCLogRingDropped: 40,
+			IPCLogReadErrors: 2, Transactions: 15000,
+			TraceDropped: 310,
+			Defender: &device.DefenderHealth{
+				Detections: 3, Coverage: 0.87, FallbackUsed: true,
+				ReadRetries: 4, AnalysisRestarts: 1, GuardStops: 2,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"## Telemetry health",
+		"| Trace-journal events evicted | 310 |",
+		"timeline in this report is incomplete",
+		"### Defender health",
+		"| Engagements | 3 |",
+		"| Last-window coverage | 0.87 |",
+		"| Fallback attribution (last window) | true |",
+		"| Log-read retries (cumulative) | 4 |",
+		"| Innocent-kill guard stops (cumulative) | 2 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteTelemetryDefenderOnly(t *testing.T) {
+	// No IPC-log records at all: the section still renders when the stats
+	// carry defender health or an incomplete timeline.
+	var sb strings.Builder
+	if err := Write(&sb, Input{Telemetry: &device.Stats{Defender: &device.DefenderHealth{Detections: 1, Coverage: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "### Defender health") {
+		t.Error("defender-only telemetry section not rendered")
+	}
+	// A clean snapshot renders nothing.
+	sb.Reset()
+	if err := Write(&sb, Input{Telemetry: &device.Stats{}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Telemetry health") {
+		t.Error("empty telemetry section rendered")
 	}
 }

@@ -1,0 +1,43 @@
+package telemetry
+
+import "testing"
+
+// BenchmarkCounterInc pins the single-atomic-op cost of the hot-path
+// counter increment (the per-transaction instrumentation unit).
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("jgre_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the bounded-scan histogram record —
+// the most expensive instrument allowed on the hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("jgre_bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.0001)
+	}
+}
+
+// BenchmarkRenderProm measures the lazy /proc/jgre_metrics render over a
+// registry of realistic size.
+func BenchmarkRenderProm(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 40; i++ {
+		r.Counter(string(rune('a'+i%26))+"_jgre_total", "c").Add(uint64(i))
+	}
+	h := r.Histogram("jgre_bench_seconds", "h", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.RenderProm(); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

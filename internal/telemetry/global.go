@@ -1,0 +1,34 @@
+package telemetry
+
+import "sync"
+
+var (
+	globalMu  sync.Mutex
+	globalReg *Registry
+)
+
+// Global returns the process-wide registry shared by cross-device
+// machinery: the parallel experiment engine's worker pool, the binder
+// parcel/call pools, anything that outlives a single simulated device.
+// Per-device metrics live on each device's own registry instead (see
+// device.Boot), so two devices in one process never alias series.
+func Global() *Registry {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	if globalReg == nil {
+		globalReg = NewRegistry()
+	}
+	return globalReg
+}
+
+// ResetGlobal replaces the process-global registry with a fresh one and
+// returns it. Tests use this to isolate global-series assertions; the
+// scenario runner uses it so `-metrics-json` exports only the sweep it
+// ran, not counters left over from a previous command in the same
+// process.
+func ResetGlobal() *Registry {
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	globalReg = NewRegistry()
+	return globalReg
+}

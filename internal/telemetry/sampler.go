@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"time"
+)
+
+// Sample is one (virtual time, value) reading of a tracked series.
+type Sample struct {
+	T time.Duration
+	V float64
+}
+
+// ring is a bounded sample buffer; older samples are overwritten.
+type ring struct {
+	buf   []Sample
+	start int
+	n     int
+}
+
+func (r *ring) push(s Sample) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.start] = s
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *ring) slice() []Sample {
+	out := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Sampler periodically snapshots selected registry series on the
+// virtual clock, keeping a bounded history per series — the data source
+// behind jgre-top's sparklines. It is pull-driven: the owner calls
+// MaybeSample(now) from its scheduling loop, and the sampler takes one
+// snapshot per elapsed tick boundary. Nothing here reads a wall clock or
+// advances the virtual one, so attaching a sampler never perturbs a
+// run's trajectory.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	capacity int
+	tracked  []string
+	rings    map[string]*ring
+	lastTick time.Duration
+	primed   bool
+}
+
+// DefaultSampleCapacity bounds each tracked series' history.
+const DefaultSampleCapacity = 240
+
+// NewSampler creates a sampler over reg taking one snapshot per
+// interval of virtual time (0 selects one second), holding up to
+// capacity samples per series (0 selects DefaultSampleCapacity).
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity <= 0 {
+		capacity = DefaultSampleCapacity
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		capacity: capacity,
+		rings:    make(map[string]*ring),
+	}
+}
+
+// Track adds series (by registry name) to the sampled set. Unknown
+// names are tolerated — they start producing samples the moment the
+// series registers.
+func (s *Sampler) Track(names ...string) {
+	for _, name := range names {
+		if _, ok := s.rings[name]; ok {
+			continue
+		}
+		s.tracked = append(s.tracked, name)
+		s.rings[name] = &ring{buf: make([]Sample, s.capacity)}
+	}
+}
+
+// Interval returns the virtual-time sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// MaybeSample snapshots every tracked series if now has crossed the next
+// tick boundary, and reports whether a snapshot was taken. The virtual
+// clock advances in jumps, so a single call can cover several elapsed
+// intervals; one snapshot (at now) is taken for the whole jump — the
+// sampler records the state that actually existed, not interpolations.
+func (s *Sampler) MaybeSample(now time.Duration) bool {
+	if s.primed && now < s.lastTick+s.interval {
+		return false
+	}
+	s.primed = true
+	s.lastTick = now - (now % s.interval)
+	for _, name := range s.tracked {
+		v, ok := s.reg.Value(name)
+		if !ok || math.IsNaN(v) {
+			continue
+		}
+		s.rings[name].push(Sample{T: now, V: v})
+	}
+	return true
+}
+
+// Series returns the sampled history of one tracked series, oldest
+// first.
+func (s *Sampler) Series(name string) []Sample {
+	r, ok := s.rings[name]
+	if !ok {
+		return nil
+	}
+	return r.slice()
+}
+
+// Values returns just the values of a tracked series, oldest first —
+// the shape sparkline renderers take.
+func (s *Sampler) Values(name string) []float64 {
+	samples := s.Series(name)
+	out := make([]float64, len(samples))
+	for i, sm := range samples {
+		out[i] = sm.V
+	}
+	return out
+}
+
+// Rate converts a cumulative series' history into per-second deltas
+// (len-1 points): the growth-rate view of a counter like JGR adds or
+// binder transactions. Non-positive time steps yield a zero rate rather
+// than dividing by zero.
+func Rate(samples []Sample) []float64 {
+	if len(samples) < 2 {
+		return nil
+	}
+	out := make([]float64, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		dt := samples[i].T - samples[i-1].T
+		if dt <= 0 {
+			continue
+		}
+		out[i-1] = (samples[i].V - samples[i-1].V) / dt.Seconds()
+	}
+	return out
+}
+
+// Tracked returns the tracked series names in tracking order.
+func (s *Sampler) Tracked() []string {
+	return append([]string(nil), s.tracked...)
+}

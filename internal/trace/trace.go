@@ -22,6 +22,10 @@ const (
 	KindReboot
 	KindDetection
 	KindNote
+	// KindSpan marks a structured operation span — a named interval of
+	// virtual time with per-phase breakdowns (the defender's poll windows
+	// record read/correlate/score/decide phases this way).
+	KindSpan
 )
 
 // String returns the logcat-style tag.
@@ -39,6 +43,8 @@ func (k Kind) String() string {
 		return "JGRE"
 	case KindNote:
 		return "NOTE"
+	case KindSpan:
+		return "SPAN"
 	default:
 		return fmt.Sprintf("KIND(%d)", int(k))
 	}
@@ -92,6 +98,46 @@ func (j *Journal) Record(ev Event) {
 func (j *Journal) Add(t time.Duration, kind Kind, subject, detail string) {
 	j.Record(Event{T: t, Kind: kind, Subject: subject, Detail: detail})
 }
+
+// Phase is one named sub-interval of a Span. Durations are virtual
+// time; a phase that advanced no virtual time honestly measures zero.
+type Phase struct {
+	Name string
+	D    time.Duration
+}
+
+// Span is a named virtual-time interval with an ordered phase
+// breakdown. The defender's poll windows are the canonical producer:
+// one span per engagement, phases read/correlate/score/decide.
+type Span struct {
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Phases []Phase
+}
+
+// Duration returns the span's total virtual-time extent.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Detail renders the span's timing breakdown as the event detail line:
+// "dur=52.3ms read=0s correlate=52.3ms score=0s decide=0s".
+func (s Span) Detail() string {
+	out := fmt.Sprintf("dur=%v", s.Duration())
+	for _, p := range s.Phases {
+		out += fmt.Sprintf(" %s=%v", p.Name, p.D)
+	}
+	return out
+}
+
+// AddSpan journals a completed span as a KindSpan event stamped at the
+// span's start time, with the phase breakdown in the detail line.
+func (j *Journal) AddSpan(s Span) {
+	j.Record(Event{T: s.Start, Kind: KindSpan, Subject: s.Name, Detail: s.Detail()})
+}
+
+// Spans returns the journal's span events (in order); a convenience
+// over Filter(KindSpan) for trace consumers.
+func (j *Journal) Spans() []Event { return j.Filter(KindSpan) }
 
 // Len returns the current event count.
 func (j *Journal) Len() int { return len(j.events) }
