@@ -23,10 +23,13 @@ vet:
 race:
 	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults
 
-# Ten seconds of coverage-guided fuzzing over the kernel log-record
-# parser, the one spot where the defender consumes a wire format.
+# Coverage-guided fuzzing smoke: the kernel log-record parser (the one
+# spot where the defender consumes a wire format) and the differential
+# pin of the streaming correlator against the retained segment-tree
+# reference implementation.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseIPCRecord -fuzztime=10s -run '^$$' ./internal/binder
+	$(GO) test -fuzz=FuzzCorrelatorDifferential -fuzztime=5s -run '^$$' ./internal/defense
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
@@ -43,12 +46,19 @@ bench-profile:
 # One iteration of every micro-benchmark: catches benchmarks that broke
 # (compile errors, fixture failures, b.Fatal) without paying full timing
 # runs in CI. The grep asserts the telemetry-overhead comparison pair
-# actually ran — it is the guard on the instrumented hot path.
+# actually ran — it is the guard on the instrumented hot path — and the
+# awk gate holds the streaming correlator at >=10x over the PR-5
+# incremental baseline (68,356,328 ns/op, BENCH_hotpath.json): a
+# regression past 6,835,632 ns/op fails CI.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./internal/binder ./internal/defense ./internal/telemetry \
 		| tee /tmp/jgre-bench-smoke.out
 	@grep -q 'BenchmarkTelemetryOverhead/instrumented' /tmp/jgre-bench-smoke.out \
 		|| { echo 'bench-smoke: telemetry overhead benchmark did not run'; exit 1; }
+	@awk '/^BenchmarkCorrelate\/incremental/ { found = 1; if ($$3 + 0 > 6835632) { \
+			printf "bench-smoke: BenchmarkCorrelate/incremental %s ns/op exceeds the 10x target (6835632 ns/op)\n", $$3; exit 1 } } \
+		END { if (!found) { print "bench-smoke: BenchmarkCorrelate/incremental did not run"; exit 1 } }' \
+		/tmp/jgre-bench-smoke.out
 
 # Coverage floor for the telemetry registry: the zero-alloc counters and
 # the Prometheus renderer are pure library code every layer leans on, so

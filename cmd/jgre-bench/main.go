@@ -45,9 +45,14 @@ type SweepTiming struct {
 
 // Report is the jgre-bench JSON output.
 type Report struct {
-	GeneratedUnix int64         `json:"generated_unix"`
-	GoMaxProcs    int           `json:"gomaxprocs"`
-	Workers       int           `json:"workers"`
+	GeneratedUnix int64 `json:"generated_unix"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
+	// NumCPU is the machine's hardware parallelism. Recording it beside
+	// gomaxprocs keeps the envelope honest: a sweep run with GOMAXPROCS
+	// raised above the physical core count cannot demonstrate a real
+	// parallel win, and the pair makes that visible in the artifact.
+	NumCPU  int `json:"num_cpu"`
+	Workers int `json:"workers"`
 	Scale         string        `json:"scale"`
 	Sweeps        []SweepTiming `json:"sweeps"`
 	TotalSeqS     float64       `json:"total_sequential_s"`
@@ -106,6 +111,7 @@ func main() {
 	rep := Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		Workers:       *workers,
 		Scale:         scale.String(),
 	}

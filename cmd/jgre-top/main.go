@@ -121,6 +121,15 @@ func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *tele
 		return
 	}
 	fmt.Fprintf(w, "\nDEFENDER  engagements=%d\n", len(def.History()))
+	counter := func(name string) float64 {
+		v, _ := dev.Metrics().Value(name)
+		return v
+	}
+	fmt.Fprintf(w, "correlator  types scored %.0f  no-overlap %.0f  tight-span %.0f  pairs swept %.0f\n",
+		counter("jgre_defender_correlator_types_scored_total"),
+		counter("jgre_defender_correlator_types_skipped_total"),
+		counter("jgre_defender_correlator_span_shortcuts_total"),
+		counter("jgre_defender_correlator_bucket_pairs_total"))
 	spark(w, "coverage", sampler.Values("jgre_defender_coverage"), width)
 	if h, ok := histogram(dev, `jgre_defender_phase_seconds{phase="read"}`); ok && h.Count() > 0 {
 		fmt.Fprintf(w, "read-phase latency (s, %d windows)\n", h.Count())

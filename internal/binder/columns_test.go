@@ -1,0 +1,152 @@
+package binder
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/kernel"
+)
+
+// TestLogColumnsRoundTrip pins the SoA view as a lossless encoding:
+// appending records and materializing them back yields the originals,
+// and Reset retains capacity while emptying every column.
+func TestLogColumnsRoundTrip(t *testing.T) {
+	r := newFaultRig(t, faults.Config{}, 1)
+	r.flood(t, 50)
+	if _, err := r.d.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.d.ReadLog(kernel.SystemUid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w LogColumns
+	for _, rec := range recs {
+		w.Append(rec)
+	}
+	if w.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(recs))
+	}
+	for i, rec := range recs {
+		if got := w.Record(i); got != rec {
+			t.Fatalf("Record(%d) = %+v, want %+v", i, got, rec)
+		}
+	}
+	if got := w.Rows(nil); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("Rows diverged from the appended records")
+	}
+	before := cap(w.Seq)
+	w.Reset()
+	if w.Len() != 0 || cap(w.Seq) != before {
+		t.Fatalf("Reset: len=%d cap=%d, want len=0 cap=%d", w.Len(), cap(w.Seq), before)
+	}
+}
+
+// TestLogColumnsFilter checks in-place compaction keeps exactly the
+// selected rows, in order, across every column.
+func TestLogColumnsFilter(t *testing.T) {
+	r := newFaultRig(t, faults.Config{}, 1)
+	r.flood(t, 40)
+	if _, err := r.d.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.d.ReadLog(kernel.SystemUid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w LogColumns
+	for _, rec := range recs {
+		w.Append(rec)
+	}
+	w.Filter(func(i int) bool { return w.Seq[i]%3 == 0 })
+	var want []IPCRecord
+	for _, rec := range recs {
+		if rec.Seq%3 == 0 {
+			want = append(want, rec)
+		}
+	}
+	if got := w.Rows(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Filter kept %d rows, want %d matching rows in order", w.Len(), len(want))
+	}
+}
+
+// TestAppendLogColumnsSinceMatchesRows is the equivalence contract for
+// the defender's columnar read: for any afterSeq cut, the columnar view
+// holds exactly the rows ReadLogSince returns.
+func TestAppendLogColumnsSinceMatchesRows(t *testing.T) {
+	r := newFaultRig(t, faults.Config{}, 1)
+	r.flood(t, 120)
+	if _, err := r.d.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	victim := r.server.Pid()
+	all, err := r.d.ReadLogSince(kernel.SystemUid, victim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no records for victim")
+	}
+	cuts := []uint64{0, all[0].Seq, all[len(all)/2].Seq, all[len(all)-1].Seq}
+	for _, cut := range cuts {
+		want, err := r.d.ReadLogSince(kernel.SystemUid, victim, cut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w LogColumns
+		n, err := r.d.AppendLogColumnsSince(kernel.SystemUid, victim, cut, &w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) || w.Len() != len(want) {
+			t.Fatalf("cut %d: appended %d rows (len %d), want %d", cut, n, w.Len(), len(want))
+		}
+		if len(want) > 0 && !reflect.DeepEqual(w.Rows(nil), want) {
+			t.Fatalf("cut %d: columnar window diverged from ReadLogSince", cut)
+		}
+	}
+	// The second append lands behind the first: the columnar read is an
+	// append, not a replace, so a poll loop can accumulate one window
+	// across retries of disjoint cuts.
+	var w LogColumns
+	mid := all[len(all)/2].Seq
+	if _, err := r.d.AppendLogColumnsSince(kernel.SystemUid, victim, mid, &w); err != nil {
+		t.Fatal(err)
+	}
+	head := w.Len()
+	if _, err := r.d.AppendLogColumnsSince(kernel.SystemUid, victim, mid, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2*head {
+		t.Fatalf("second append: len = %d, want %d", w.Len(), 2*head)
+	}
+}
+
+// TestAppendLogColumnsSinceGauntlet pins the read-side behaviour shared
+// with ReadLog: app uids are denied by the procfs ACL and injected read
+// faults surface before any data is copied.
+func TestAppendLogColumnsSinceGauntlet(t *testing.T) {
+	r := newFaultRig(t, faults.Config{}, 1)
+	r.flood(t, 10)
+	if _, err := r.d.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	var w LogColumns
+	if _, err := r.d.AppendLogColumnsSince(r.app.Uid(), r.server.Pid(), 0, &w); !errors.Is(err, kernel.ErrPermissionDenied) {
+		t.Fatalf("app read error = %v, want ErrPermissionDenied", err)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("denied read leaked %d rows into the window", w.Len())
+	}
+
+	faulty := newFaultRig(t, faults.Config{ReadFailEvery: 1}, 99)
+	faulty.flood(t, 10)
+	if _, err := faulty.d.AppendLogColumnsSince(kernel.SystemUid, faulty.server.Pid(), 0, &w); !errors.Is(err, faults.ErrInjectedRead) {
+		t.Fatalf("faulted read error = %v, want ErrInjectedRead", err)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("faulted read leaked %d rows into the window", w.Len())
+	}
+}

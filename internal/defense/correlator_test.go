@@ -134,7 +134,7 @@ func TestIncrementalCorrelatorMatchesStateless(t *testing.T) {
 	def, windows, addWindows := correlatorWindows(t)
 	var persistent correlator
 	for round, recs := range windows {
-		got := persistent.score(def, recs, addWindows[round], def.cfg.Delta)
+		got := persistent.scoreRecords(def, recs, addWindows[round], def.cfg.Delta)
 		want := def.ScoreWithDelta(recs, addWindows[round], def.cfg.Delta)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("window %d diverged:\nincremental: %+v\n  stateless: %+v", round, got, want)
@@ -151,8 +151,8 @@ func TestIncrementalCorrelatorMatchesStateless(t *testing.T) {
 func TestIncrementalCorrelatorRepeatable(t *testing.T) {
 	def, windows, addWindows := correlatorWindows(t)
 	var c correlator
-	first := c.score(def, windows[0], addWindows[0], def.cfg.Delta)
-	second := c.score(def, windows[0], addWindows[0], def.cfg.Delta)
+	first := c.scoreRecords(def, windows[0], addWindows[0], def.cfg.Delta)
+	second := c.scoreRecords(def, windows[0], addWindows[0], def.cfg.Delta)
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("rescoring the same window diverged:\n first: %+v\nsecond: %+v", first, second)
 	}

@@ -2,7 +2,8 @@
 // runtime extension that watches each monitored process's JGR table
 // (alarm at 4,000 new entries, defender engagement at 12,000), a binder
 // driver log consumed through /proc/jgre_ipc_log, the correlation scoring
-// of Algorithm 1 implemented over a segment tree, and an LMK-style
+// of Algorithm 1 implemented as a streaming columnar sweep over the
+// bucketed delay axis, and an LMK-style
 // recovery loop that force-stops the top-scoring apps until the victim's
 // JGR count returns to normal.
 package defense
@@ -210,10 +211,15 @@ type Defender struct {
 	// previous engagement, delimiting the current evidence window.
 	lastStats binder.LogStats
 	// corr is the poll loop's incremental correlator: respond() reuses
-	// its buckets, segment tree and scratch buffers across engagements.
-	// Only the single-goroutine monitor path may use it; the public
-	// Score/ScoreWithDelta stay stateless for concurrent callers.
+	// its sorted window permutation, difference array and scratch
+	// buffers across engagements. Only the single-goroutine monitor path
+	// may use it; the public Score/ScoreWithDelta stay stateless for
+	// concurrent callers.
 	corr correlator
+	// evid is the poll loop's columnar evidence window, filled straight
+	// from the driver's flushed store each engagement and reused across
+	// windows so the steady-state read allocates nothing.
+	evid binder.LogColumns
 	// corrRounds counts completed corr.score runs; rounds past the first
 	// are correlator-reuse hits (the buckets/segtree were recycled).
 	corrRounds uint64
@@ -235,6 +241,14 @@ type defenderMetrics struct {
 	guardStops       *telemetry.Counter
 	corrReuse        *telemetry.Counter
 	coverage         *telemetry.Gauge
+
+	// Correlator counters: how Algorithm 1's streaming sweep spent its
+	// work — types scored, types early-exited before bucketing, and the
+	// (call, add) pairs that did reach the difference-array sweep.
+	corrTypesScored  *telemetry.Counter
+	corrTypesSkipped *telemetry.Counter
+	corrShortcuts    *telemetry.Counter
+	corrPairsSwept   *telemetry.Counter
 
 	phaseRead      *telemetry.Histogram
 	phaseCorrelate *telemetry.Histogram
@@ -262,6 +276,14 @@ func newDefenderMetrics(reg *telemetry.Registry) defenderMetrics {
 			"Kill candidates skipped by the innocent-kill guard."),
 		corrReuse: reg.Counter("jgre_defender_correlator_reuse_total",
 			"Poll windows scored on recycled correlator state."),
+		corrTypesScored: reg.Counter("jgre_defender_correlator_types_scored_total",
+			"Interface types whose best-supported delay bucket contributed a nonzero score."),
+		corrTypesSkipped: reg.Counter("jgre_defender_correlator_types_skipped_total",
+			"Interface types early-exited with no (call, JGR-add) pair in the delay window."),
+		corrShortcuts: reg.Counter("jgre_defender_correlator_span_shortcuts_total",
+			"Interface types resolved by the tight-span bound without a bucket sweep."),
+		corrPairsSwept: reg.Counter("jgre_defender_correlator_bucket_pairs_total",
+			"(call, JGR-add) pairs enumerated into the difference-array sweep."),
 		coverage: reg.Gauge("jgre_defender_coverage",
 			"Delivered/generated record fraction of the latest engagement window."),
 		phaseRead:      phase("read"),
@@ -269,6 +291,19 @@ func newDefenderMetrics(reg *telemetry.Registry) defenderMetrics {
 		phaseScore:     phase("score"),
 		phaseDecide:    phase("decide"),
 	}
+}
+
+// observeCorrelation flushes one score call's correlator stats. The
+// instruments are nil only on a zero-value Defender, which New never
+// produces; the guard keeps hand-rolled test defenders safe.
+func (m *defenderMetrics) observeCorrelation(st corrStats) {
+	if m.corrTypesScored == nil {
+		return
+	}
+	m.corrTypesScored.Add(st.scored)
+	m.corrTypesSkipped.Add(st.skipped)
+	m.corrShortcuts.Add(st.shortcuts)
+	m.corrPairsSwept.Add(st.pairs)
 }
 
 // monitor is the per-process runtime extension.
@@ -413,7 +448,7 @@ func (m *monitor) respond() {
 		EffectiveDelta: d.cfg.Delta,
 	}
 
-	records, err := d.readRecordsWithRetry(&det, m.proc.Pid())
+	err := d.readWindowWithRetry(&det, m.proc.Pid())
 	// Phase marks for the poll-window span, all in virtual time: a phase
 	// that advanced no virtual time honestly measures zero (the in-memory
 	// score step, most decide steps).
@@ -431,25 +466,26 @@ func (m *monitor) respond() {
 
 	scored := false
 	if err == nil {
-		det.Records = len(records)
-		records = correctSkew(records, det.EngagedAt)
-		det.EffectiveDelta = d.effectiveDelta(records)
+		w := &d.evid
+		det.Records = w.Len()
+		correctSkew(w, det.EngagedAt)
+		det.EffectiveDelta = d.effectiveDelta(w)
 		start := d.dev.Clock().Now()
-		d.chargeAnalysis(records)
+		d.chargeAnalysis(w)
 		survived := d.surviveAnalysisFaults(&det)
 		tCorrelate = d.dev.Clock().Now()
 		if survived {
 			if d.corrRounds > 0 {
 				d.met.corrReuse.Inc()
 			}
-			det.Scores = d.corr.score(d, records, m.addTimes, det.EffectiveDelta)
+			det.Scores = d.corr.score(d, w, m.addTimes, det.EffectiveDelta)
 			d.corrRounds++
 			scored = true
 		}
 		tScore = d.dev.Clock().Now()
 		det.AnalysisTime = d.dev.Clock().Now() - start
 		if d.cfg.KeepRaw {
-			det.RawRecords = append([]binder.IPCRecord(nil), records...)
+			det.RawRecords = w.Rows(nil)
 			det.RawAddTimes = append([]time.Duration(nil), m.addTimes...)
 		}
 	} else {
@@ -539,17 +575,17 @@ func (m *monitor) respond() {
 	}
 }
 
-// readRecordsWithRetry reads the victim's evidence window, retrying
-// failed reads with doubling virtual-time backoff.
-func (d *Defender) readRecordsWithRetry(det *Detection, victim kernel.Pid) ([]binder.IPCRecord, error) {
+// readWindowWithRetry reads the victim's evidence window into d.evid,
+// retrying failed reads with doubling virtual-time backoff.
+func (d *Defender) readWindowWithRetry(det *Detection, victim kernel.Pid) error {
 	backoff := d.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		records, err := d.readRecords(victim)
+		err := d.readWindow(victim)
 		if err == nil {
-			return records, nil
+			return nil
 		}
 		if attempt >= d.cfg.LogReadRetries {
-			return nil, err
+			return err
 		}
 		det.ReadRetries++
 		d.dev.Clock().Advance(backoff)
@@ -578,24 +614,23 @@ func (d *Defender) surviveAnalysisFaults(det *Detection) bool {
 // correctSkew pulls a clock-skewed evidence window back into the
 // defender's time domain: no kernel log record can postdate the read
 // that returned it, so any overshoot is skew, and subtracting it
-// restores the IPC→JGR delays Algorithm 1 correlates on.
-func correctSkew(records []binder.IPCRecord, now time.Duration) []binder.IPCRecord {
+// restores the IPC→JGR delays Algorithm 1 correlates on. The window is
+// defender-owned scratch, so the correction shifts its time column in
+// place.
+func correctSkew(w *binder.LogColumns, now time.Duration) {
 	var maxT time.Duration
-	for _, r := range records {
-		if r.Time > maxT {
-			maxT = r.Time
+	for _, t := range w.Time {
+		if t > maxT {
+			maxT = t
 		}
 	}
 	over := maxT - now
 	if over <= 0 {
-		return records
+		return
 	}
-	out := make([]binder.IPCRecord, len(records))
-	for i, r := range records {
-		r.Time -= over
-		out[i] = r
+	for i := range w.Time {
+		w.Time[i] -= over
 	}
-	return out
 }
 
 // effectiveDelta widens Δ under measured timestamp jitter. The log is
@@ -604,14 +639,14 @@ func correctSkew(records []binder.IPCRecord, now time.Duration) []binder.IPCReco
 // (twice) the per-record perturbation, and widening Δ by it keeps the
 // true delay inside the correlation window. On a healthy chain the
 // measurement is zero and Δ is untouched.
-func (d *Defender) effectiveDelta(records []binder.IPCRecord) time.Duration {
+func (d *Defender) effectiveDelta(w *binder.LogColumns) time.Duration {
 	if d.cfg.DisableAdaptiveDelta {
 		return d.cfg.Delta
 	}
 	var inversion time.Duration
-	for i := 1; i < len(records); i++ {
-		if records[i].Seq > records[i-1].Seq {
-			if back := records[i-1].Time - records[i].Time; back > inversion {
+	for i := 1; i < w.Len(); i++ {
+		if w.Seq[i] > w.Seq[i-1] {
+			if back := w.Time[i-1] - w.Time[i]; back > inversion {
 				inversion = back
 			}
 		}
@@ -669,41 +704,34 @@ func (d *Defender) fallbackScores(victim kernel.Pid, corr []AppScore, coverage f
 	return out
 }
 
-// readRecords flushes the driver log and returns the records aimed at the
-// victim pid since the previous engagement, via the driver's per-victim
-// seq index (ReadLogSince) instead of scanning the full log. lastStats.Seq
-// is a valid window delimiter because the previous engagement truncated
+// readWindow flushes the driver log and fills d.evid with the records
+// aimed at the victim pid since the previous engagement, via the
+// driver's columnar per-victim view (AppendLogColumnsSince) instead of
+// materializing a row slice and scanning the full log. lastStats.Seq is
+// a valid window delimiter because the previous engagement truncated
 // the log before capturing it, so every flushed record newer than it
 // belongs to this window. The defender reads as the system uid; the
 // procfs ACL keeps apps from seeing or spoofing the stream.
-func (d *Defender) readRecords(victim kernel.Pid) ([]binder.IPCRecord, error) {
+func (d *Defender) readWindow(victim kernel.Pid) error {
+	d.evid.Reset()
 	if _, err := d.dev.Driver().FlushLog(); err != nil {
-		return nil, err
+		return err
 	}
-	window, err := d.dev.Driver().ReadLogSince(kernel.SystemUid, victim, d.lastStats.Seq)
-	if err != nil {
-		return nil, err
+	if _, err := d.dev.Driver().AppendLogColumnsSince(kernel.SystemUid, victim, d.lastStats.Seq, &d.evid); err != nil {
+		return err
 	}
-	out := window[:0]
-	for _, r := range window {
-		if kernel.IsAppUid(r.FromUid) {
-			out = append(out, r)
-		}
-	}
-	if len(out) == 0 {
-		return nil, nil
-	}
-	return out, nil
+	d.evid.Filter(func(i int) bool { return kernel.IsAppUid(d.evid.FromUid[i]) })
+	return nil
 }
 
 // chargeAnalysis advances virtual time for the correlation run; per-record
 // cost scales with the targeted interface's analysis weight, which is what
 // makes MidiService.registerDeviceServer the slow outlier of §V-D1.
-func (d *Defender) chargeAnalysis(records []binder.IPCRecord) {
+func (d *Defender) chargeAnalysis(win *binder.LogColumns) {
 	total := d.cfg.AnalysisCostBase
-	for _, r := range records {
+	for i := 0; i < win.Len(); i++ {
 		w := 1.0
-		if t, ok := d.dev.Resolve(r); ok {
+		if t, ok := d.dev.Resolve(win.Record(i)); ok {
 			switch {
 			case t.Catalogued != nil:
 				w = t.Catalogued.Cost.AnalysisWeight
@@ -718,8 +746,8 @@ func (d *Defender) chargeAnalysis(records []binder.IPCRecord) {
 
 // Score implements Algorithm 1 (§V-A): for every app and every IPC
 // interface type the app invoked, accumulate candidate delays
-// [JGRTime−IPCTime, JGRTime−IPCTime+Δ] on a segment tree over the delay
-// axis, take the best-supported bucket as that type's count of suspicious
+// [JGRTime−IPCTime, JGRTime−IPCTime+Δ] over the bucketed delay axis,
+// take the best-supported bucket as that type's count of suspicious
 // calls, and sum the counts into the app's jgre_score.
 func (d *Defender) Score(records []binder.IPCRecord, jgrAdds []time.Duration) []AppScore {
 	return d.ScoreWithDelta(records, jgrAdds, d.cfg.Delta)
@@ -732,7 +760,7 @@ func (d *Defender) Score(records []binder.IPCRecord, jgrAdds []time.Duration) []
 // goes through its persistent correlator instead.
 func (d *Defender) ScoreWithDelta(records []binder.IPCRecord, jgrAdds []time.Duration, delta time.Duration) []AppScore {
 	var c correlator
-	return c.score(d, records, jgrAdds, delta)
+	return c.scoreRecords(d, records, jgrAdds, delta)
 }
 
 // AverageDelta returns the catalog-wide mean jitter — how §V-C derives

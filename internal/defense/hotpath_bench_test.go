@@ -74,14 +74,19 @@ func correlateFixture(b *testing.B) (*Defender, []binder.IPCRecord, []time.Durat
 }
 
 // BenchmarkCorrelate measures Algorithm 1's correlation stage on the
-// defender's poll path: per-type delay bucketing plus the segment-tree
-// window maximum, repeated every poll as the live defender does.
-// "stateless" is the public Score path (fresh correlator per call, what
-// concurrent sweep callers get); "incremental" is the poll loop's
-// persistent correlator, which reuses buckets and the segment tree
+// defender's poll path: the per-type difference-array sweep over the
+// delay buckets, repeated every poll as the live defender does.
+// "stateless" is the public Score path (fresh correlator per call, rows
+// in, what concurrent sweep callers get); "incremental" is the poll
+// loop's persistent correlator fed the driver's columnar window, which
+// reuses the sorted permutation, difference array and scratch buffers
 // across windows.
 func BenchmarkCorrelate(b *testing.B) {
 	def, records, adds := correlateFixture(b)
+	var cols binder.LogColumns
+	for _, r := range records {
+		cols.Append(r)
+	}
 	b.Run("stateless", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -94,7 +99,7 @@ func BenchmarkCorrelate(b *testing.B) {
 	b.Run("incremental", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			scores := def.corr.score(def, records, adds, def.cfg.Delta)
+			scores := def.corr.score(def, &cols, adds, def.cfg.Delta)
 			if len(scores) == 0 {
 				b.Fatal("no scores")
 			}

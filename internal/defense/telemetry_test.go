@@ -96,6 +96,32 @@ func TestEngagementMetrics(t *testing.T) {
 	}
 }
 
+func TestCorrelatorMetrics(t *testing.T) {
+	r := runDefendedAttack(t)
+	reg := r.dev.Metrics()
+
+	scored, ok := reg.Value("jgre_defender_correlator_types_scored_total")
+	if !ok || scored < 1 {
+		t.Fatalf("types_scored_total = %v (ok=%v), want >= 1 after an engagement", scored, ok)
+	}
+	for _, name := range []string{
+		"jgre_defender_correlator_types_skipped_total",
+		"jgre_defender_correlator_span_shortcuts_total",
+		"jgre_defender_correlator_bucket_pairs_total",
+	} {
+		if _, ok := reg.Value(name); !ok {
+			t.Fatalf("registry missing %s", name)
+		}
+	}
+	// Every type either early-exits before bucketing or sweeps pairs;
+	// an engagement that scored something must have done one or the other.
+	shortcuts, _ := reg.Value("jgre_defender_correlator_span_shortcuts_total")
+	pairs, _ := reg.Value("jgre_defender_correlator_bucket_pairs_total")
+	if shortcuts == 0 && pairs == 0 {
+		t.Fatal("correlator scored types but recorded neither a span shortcut nor swept pairs")
+	}
+}
+
 func TestDefenderHealthInStats(t *testing.T) {
 	r := runDefendedAttack(t)
 	det := r.def.History()[len(r.def.History())-1]
@@ -133,6 +159,8 @@ func TestMetricsProcFileDuringAttack(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE jgre_defender_engagements_total counter",
 		"jgre_defender_attached 1",
+		"jgre_defender_correlator_types_scored_total",
+		"jgre_defender_correlator_bucket_pairs_total",
 		`jgre_jgr_table_size{process="system_server"}`,
 		"jgre_binder_tx_bytes_bucket",
 	} {

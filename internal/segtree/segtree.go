@@ -7,6 +7,14 @@
 // take the best-supported delay — i.e. the maximum bucket. A naive array
 // makes each increment O(Δ); the paper reports using a segment tree
 // (§V-D.2) to keep both the range update and the max query logarithmic.
+//
+// The live defender no longer scores through this tree: its streaming
+// correlator (internal/defense, DESIGN.md §11) replaces the per-pair
+// range-adds with a difference-array sweep that does the same
+// accumulation in O(1) per pair. The tree remains the reference
+// implementation of the paper's published data structure, and the
+// defense package's differential fuzz pins the streaming scorer against
+// it byte-for-byte.
 package segtree
 
 import "fmt"
