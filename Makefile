@@ -18,18 +18,23 @@ vet:
 
 # The parallel engine and its consumers must stay race-clean: the fan-out
 # pool, the converted experiment sweeps, the pipeline's parallel
-# dynamic-verification stage, the scenario registry that drives them, and
-# the fault-injected defense/binder/faults telemetry path.
+# dynamic-verification stage, the scenario registry that drives them, the
+# fault-injected defense/binder/faults telemetry path, plus the event
+# queue and the device snapshot/clone layer every concurrent shard now
+# boots through.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device
 
 # Coverage-guided fuzzing smoke: the kernel log-record parser (the one
-# spot where the defender consumes a wire format) and the differential
-# pin of the streaming correlator against the retained segment-tree
-# reference implementation.
+# spot where the defender consumes a wire format), the differential pin
+# of the streaming correlator against the retained segment-tree
+# reference implementation, and the event queue's ordering invariant
+# (virtual time, then priority, then sequence) under arbitrary
+# push/pop interleavings.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseIPCRecord -fuzztime=10s -run '^$$' ./internal/binder
 	$(GO) test -fuzz=FuzzCorrelatorDifferential -fuzztime=5s -run '^$$' ./internal/defense
+	$(GO) test -fuzz=FuzzEventQueue -fuzztime=5s -run '^$$' ./internal/event
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
@@ -59,6 +64,14 @@ bench-smoke:
 			printf "bench-smoke: BenchmarkCorrelate/incremental %s ns/op exceeds the 10x target (6835632 ns/op)\n", $$3; exit 1 } } \
 		END { if (!found) { print "bench-smoke: BenchmarkCorrelate/incremental did not run"; exit 1 } }' \
 		/tmp/jgre-bench-smoke.out
+	$(GO) test -bench='^BenchmarkDevice(Boot|Clone)$$' -benchtime=400x -run '^$$' . \
+		| tee /tmp/jgre-clone-smoke.out
+	@awk '/^BenchmarkDeviceBoot/ { boot = $$3 + 0 } /^BenchmarkDeviceClone/ { clone = $$3 + 0 } \
+		END { if (!boot || !clone) { print "bench-smoke: device boot/clone benchmarks did not run"; exit 1 } \
+			ratio = boot / clone; \
+			if (ratio < 50) { printf "bench-smoke: clone is only %.1fx faster than boot (want >= 50x)\n", ratio; exit 1 } \
+			printf "bench-smoke: device clone %.1fx faster than boot\n", ratio }' \
+		/tmp/jgre-clone-smoke.out
 
 # Coverage floor for the telemetry registry: the zero-alloc counters and
 # the Prometheus renderer are pure library code every layer leans on, so

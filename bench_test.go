@@ -435,16 +435,37 @@ func BenchmarkAttackThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkDeviceBoot measures full-device boot (104 services, 382
-// processes).
+// BenchmarkDeviceBoot measures full-device boot from scratch (104
+// services, 382 processes), bypassing the clone-template cache.
 func BenchmarkDeviceBoot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		dev, err := device.Boot(device.Config{Seed: int64(i)})
+		dev, err := device.BootFresh(device.Config{Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if dev.Kernel().RunningCount() != device.DefaultBaselineProcesses {
 			b.Fatal("bad boot")
+		}
+	}
+}
+
+// BenchmarkDeviceClone measures copy-on-write cloning of a sealed boot
+// template — the per-shard cost parallel sweeps actually pay. The
+// bench-smoke gate pins Clone at ≥50× faster than BenchmarkDeviceBoot.
+func BenchmarkDeviceClone(b *testing.B) {
+	tmpl, err := device.BootFresh(device.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmpl.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev, err := tmpl.CloneWithSeed(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dev.Kernel().RunningCount() != device.DefaultBaselineProcesses {
+			b.Fatal("bad clone")
 		}
 	}
 }

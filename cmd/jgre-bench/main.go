@@ -27,9 +27,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/scenario"
 )
 
@@ -58,6 +60,52 @@ type Report struct {
 	TotalSeqS     float64       `json:"total_sequential_s"`
 	TotalParS     float64       `json:"total_parallel_s"`
 	Speedup       float64       `json:"speedup"`
+	// BootNs/CloneNs time a from-scratch device boot against a
+	// copy-on-write clone of a sealed boot template — the per-shard cost
+	// every sweep above actually pays. CloneBootRatio is boot/clone;
+	// `make bench-smoke` gates it at ≥50.
+	BootNs         int64   `json:"boot_ns"`
+	CloneNs        int64   `json:"clone_ns"`
+	CloneBootRatio float64 `json:"clone_boot_ratio"`
+}
+
+// timeBootClone measures median from-scratch boot time and median clone
+// time off one sealed template.
+func timeBootClone() (bootNs, cloneNs int64, err error) {
+	const rounds = 15
+	runtime.GC() // boot and clone phases start from the same heap state
+	boots := make([]time.Duration, rounds)
+	for i := range boots {
+		t0 := time.Now()
+		if _, err := device.BootFresh(device.Config{Seed: int64(i)}); err != nil {
+			return 0, 0, err
+		}
+		boots[i] = time.Since(t0)
+	}
+	tmpl, err := device.BootFresh(device.Config{Seed: 1})
+	if err != nil {
+		return 0, 0, err
+	}
+	tmpl.Snapshot()
+	runtime.GC()
+	// Clones are ~µs; time batches so each sample is well above timer
+	// granularity.
+	const batch = 64
+	clones := make([]time.Duration, rounds)
+	for i := range clones {
+		t0 := time.Now()
+		for j := 0; j < batch; j++ {
+			if _, err := tmpl.CloneWithSeed(int64(i*batch + j)); err != nil {
+				return 0, 0, err
+			}
+		}
+		clones[i] = time.Since(t0) / batch
+	}
+	median := func(ds []time.Duration) int64 {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return int64(ds[len(ds)/2])
+	}
+	return median(boots), median(clones), nil
 }
 
 func main() {
@@ -115,6 +163,18 @@ func main() {
 		Workers:       *workers,
 		Scale:         scale.String(),
 	}
+	// Boot/clone timing runs first, on a quiet heap — after the sweeps the
+	// retained envelopes distort the GC share of both measurements.
+	rep.BootNs, rep.CloneNs, err = timeBootClone()
+	if err != nil {
+		log.Fatalf("boot/clone timing: %v", err)
+	}
+	if rep.CloneNs > 0 {
+		rep.CloneBootRatio = float64(rep.BootNs) / float64(rep.CloneNs)
+	}
+	fmt.Printf("%-12s             boot %8.3fms  clone  %8.3fms  ratio   %.1fx\n",
+		"DEVICE", float64(rep.BootNs)/1e6, float64(rep.CloneNs)/1e6, rep.CloneBootRatio)
+
 	ctx := context.Background()
 	for _, sc := range scenario.List() {
 		if !sc.Parallelizable {

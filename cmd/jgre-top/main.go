@@ -52,6 +52,7 @@ func main() {
 		"jgre_binder_transactions_total",
 		"jgre_binder_ring_occupancy_ratio",
 		"jgre_device_processes",
+		"jgre_event_queue_depth",
 		"jgre_defender_coverage",
 	)
 	sample := func() { sampler.MaybeSample(dev.Clock().Now()) }
@@ -111,6 +112,13 @@ func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *tele
 	spark(w, "tx rate/s", telemetry.Rate(sampler.Series("jgre_binder_transactions_total")), width)
 	spark(w, "ring occ.", sampler.Values("jgre_binder_ring_occupancy_ratio"), width)
 	spark(w, "processes", sampler.Values("jgre_device_processes"), width)
+	// Event-core vitals: pending events in the scheduler's priority queue
+	// and how far virtual time has advanced. The queue depth is flat while
+	// every actor reschedules itself and dips as actors finish.
+	spark(w, "evt queue", sampler.Values("jgre_event_queue_depth"), width)
+	if vt, ok := dev.Metrics().Value("jgre_event_virtual_time_seconds"); ok {
+		fmt.Fprintf(w, "%-10s virtual clock at %.1fs\n", "evt time", vt)
+	}
 
 	if h, ok := histogram(dev, "jgre_binder_tx_bytes"); ok && h.Count() > 0 {
 		fmt.Fprintf(w, "\nbinder transaction size (bytes, %d observed)\n", h.Count())

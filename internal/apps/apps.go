@@ -107,6 +107,29 @@ func NewManager(k *kernel.Kernel, perms *permissions.Manager) *Manager {
 	}
 }
 
+// CloneInto populates dst as a copy of the installer for a snapshot
+// clone: every App is re-minted against the clone's kernel (resolving
+// its process by pid, which materializes it copy-on-write) and the
+// clone's permission manager. Map iteration order is safe here — no
+// sequential ids are minted during the copy.
+func (m *Manager) CloneInto(dst *Manager, k *kernel.Kernel, perms *permissions.Manager) {
+	*dst = Manager{
+		k:       k,
+		perms:   perms,
+		nextUid: m.nextUid,
+		byPkg:   make(map[string]*App, len(m.byPkg)),
+		byUid:   make(map[kernel.Uid]*App, len(m.byUid)),
+	}
+	for pkg, a := range m.byPkg {
+		na := &App{pkg: pkg, uid: a.uid, mgr: dst}
+		if p := a.proc; p != nil && p.Alive() {
+			na.proc = k.Process(p.Pid())
+		}
+		dst.byPkg[pkg] = na
+		dst.byUid[na.uid] = na
+	}
+}
+
 // ErrAlreadyInstalled reports a duplicate package install.
 var ErrAlreadyInstalled = errors.New("apps: package already installed")
 
@@ -202,9 +225,15 @@ func (r *ServiceRegistry) Unpublish(name string) { delete(r.byName, name) }
 type AppService struct {
 	owner *App
 	clock *simclock.Clock
-	rng   *rand.Rand
+
+	// rng seeds lazily on the first jitter draw (see services.Service);
+	// seedMix is the per-service seed component for re-keying clones.
+	rng     *rand.Rand
+	rngSeed int64
+	seedMix int64
 
 	stub    *binder.LocalBinder
+	regName string
 	methods map[binder.TxCode]catalog.AppInterface
 	codes   map[string]binder.TxCode
 	entries map[string][]*appEntry
@@ -255,13 +284,14 @@ func NewAppService(owner *App, d *binder.Driver, clock *simclock.Clock, reg *Ser
 		return nil, errors.New("apps: service needs at least one interface row")
 	}
 	proc := owner.Start()
+	mix := int64(len(rows))
 	s := &AppService{
 		owner:   owner,
 		clock:   clock,
-		rng:     rand.New(rand.NewSource(seed ^ int64(len(rows)))),
+		rngSeed: seed ^ mix,
+		seedMix: mix,
 		methods: make(map[binder.TxCode]catalog.AppInterface),
 		codes:   make(map[string]binder.TxCode),
-		entries: make(map[string][]*appEntry),
 	}
 	var names []string
 	byName := make(map[string]catalog.AppInterface)
@@ -277,10 +307,39 @@ func NewAppService(owner *App, d *binder.Driver, clock *simclock.Clock, reg *Ser
 		s.codes[n] = code
 	}
 	s.stub = d.NewLocalBinder(proc, serviceClassOf(rows[0].Method), binder.TransactorFunc(s.onTransact))
-	if err := reg.Publish(AppServiceName(rows[0]), s.stub); err != nil {
+	s.regName = AppServiceName(rows[0])
+	if err := reg.Publish(s.regName, s.stub); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// CloneInto populates dst as a boot-state clone of s: immutable method
+// tables are shared, retained entries start empty (the template froze at
+// boot quiescence), and the stub is re-minted and re-published in boot
+// order so driver ids replay identically. owner must be the clone
+// device's corresponding App.
+func (s *AppService) CloneInto(dst *AppService, owner *App, d *binder.Driver, clock *simclock.Clock, reg *ServiceRegistry, seed int64) error {
+	*dst = AppService{
+		owner:   owner,
+		clock:   clock,
+		rngSeed: seed ^ s.seedMix,
+		seedMix: s.seedMix,
+		regName: s.regName,
+		methods: s.methods,
+		codes:   s.codes,
+		calls:   s.calls,
+	}
+	dst.stub = d.NewLocalBinder(owner.Start(), s.stub.Class(), binder.TransactorFunc(dst.onTransact))
+	return reg.Publish(dst.regName, dst.stub)
+}
+
+// rand returns the jitter rng, seeding it on first use.
+func (s *AppService) rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.rngSeed))
+	}
+	return s.rng
 }
 
 // Owner returns the exporting app.
@@ -313,7 +372,7 @@ func (s *AppService) onTransact(call *binder.Call) error {
 		return fmt.Errorf("apps: %s: unknown code %d", s.stub.Class(), call.Code)
 	}
 	s.calls++
-	jitter := time.Duration(s.rng.Int63n(int64(ai.Cost.Jitter) + 1))
+	jitter := time.Duration(s.rand().Int63n(int64(ai.Cost.Jitter) + 1))
 	s.clock.Advance(ai.Cost.ExecBase/2 + jitter)
 	ref, err := call.Data.ReadStrongBinder()
 	if err != nil {
@@ -331,6 +390,9 @@ func (s *AppService) onTransact(call *binder.Call) error {
 	e := &appEntry{ref: ref, pid: call.SenderPid}
 	if link, lerr := ref.Binder().LinkToDeath(func() { s.drop(name, e) }); lerr == nil {
 		e.link = link
+	}
+	if s.entries == nil {
+		s.entries = make(map[string][]*appEntry)
 	}
 	s.entries[name] = append(s.entries[name], e)
 	s.clock.Advance(ai.Cost.ExecBase / 2)

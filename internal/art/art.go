@@ -166,10 +166,29 @@ type table struct {
 	max     int
 	serial  uint64
 	entries map[IndirectRef]refEntry
+	// shared marks the entry map as copy-on-write: it is owned by a
+	// snapshot template and referenced read-only by any number of clones.
+	// Every mutation path unshares first, so a clone pays for its private
+	// copy only if (and when) it actually touches the table — the
+	// system_server boot table is ~1,500 entries most shards never mutate.
+	shared bool
 }
 
 func newTable(kind RefKind, max int) *table {
 	return &table{kind: kind, max: max, entries: make(map[IndirectRef]refEntry)}
+}
+
+// unshare materializes a private copy of a COW-shared entry map.
+func (t *table) unshare() {
+	if !t.shared {
+		return
+	}
+	entries := make(map[IndirectRef]refEntry, len(t.entries))
+	for k, v := range t.entries {
+		entries[k] = v
+	}
+	t.entries = entries
+	t.shared = false
 }
 
 // Config parameterizes a VM. The zero value selects the AOSP 6.0.1
@@ -338,6 +357,7 @@ func (vm *VM) AddGlobalRef(obj *Object) (IndirectRef, error) {
 		vm.abort(err.Error())
 		return 0, err
 	}
+	vm.globals.unshare()
 	vm.globals.serial++
 	ref := makeRef(KindGlobal, vm.globals.serial)
 	vm.globals.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
@@ -363,6 +383,7 @@ func (vm *VM) DeleteGlobalRef(ref IndirectRef) error {
 	if !ok {
 		return &StaleRefError{Ref: ref}
 	}
+	vm.globals.unshare()
 	delete(vm.globals.entries, ref)
 	vm.totalGlobalRemoves++
 	vm.emit(OpRemove, ref, e.obj)
@@ -383,6 +404,7 @@ func (vm *VM) MarkCollectable(ref IndirectRef) error {
 	if !ok {
 		return &StaleRefError{Ref: ref}
 	}
+	vm.globals.unshare()
 	e.collectable = true
 	vm.globals.entries[ref] = e
 	vm.collectable++
@@ -402,6 +424,9 @@ func (vm *VM) GC() int {
 	vm.gcCycles++
 	vm.collectable = 0
 	freed := 0
+	// Unshare before the delete-while-ranging loop: deleting from a map
+	// that clones still read would corrupt them mid-iteration.
+	vm.globals.unshare()
 	for ref, e := range vm.globals.entries {
 		if !e.collectable {
 			continue
@@ -481,6 +506,7 @@ func (vm *VM) AddWeakGlobalRef(obj *Object) (IndirectRef, error) {
 		vm.abort(err.Error())
 		return 0, err
 	}
+	vm.weaks.unshare()
 	vm.weaks.serial++
 	ref := makeRef(KindWeakGlobal, vm.weaks.serial)
 	vm.weaks.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
@@ -498,6 +524,7 @@ func (vm *VM) DeleteWeakGlobalRef(ref IndirectRef) error {
 	if _, ok := vm.weaks.entries[ref]; !ok {
 		return &StaleRefError{Ref: ref}
 	}
+	vm.weaks.unshare()
 	delete(vm.weaks.entries, ref)
 	return nil
 }
@@ -509,6 +536,55 @@ func (vm *VM) RefAge(ref IndirectRef) (time.Duration, bool) {
 		return 0, false
 	}
 	return vm.clock.Now() - e.addedAt, true
+}
+
+// Clone creates a copy of the runtime for a snapshot clone of its
+// device. The global and weak tables share their entry maps with the
+// receiver copy-on-write: both sides are marked shared, and whichever
+// mutates first materializes its own copy. The clone gets a fresh root
+// local frame (the template's is empty at snapshot), no hooks (the
+// clone's binder layer re-installs its own), and the supplied clock and
+// abort callback. Statistics carry over.
+// Freeze marks the VM's reference tables copy-on-write shared. A
+// snapshot template calls this once, single-threaded, so that later
+// concurrent Clone calls only read the shared flags and never write
+// template state.
+func (vm *VM) Freeze() {
+	vm.globals.shared = true
+	vm.weaks.shared = true
+}
+
+func (vm *VM) Clone(clock *simclock.Clock, onAbort func(reason string)) *VM {
+	if clock == nil {
+		panic("art: Clone requires a clock")
+	}
+	// Mark the template tables shared (skipping the write when Freeze
+	// already did it, so concurrent Clones of a frozen VM never race).
+	if !vm.globals.shared {
+		vm.globals.shared = true
+	}
+	if !vm.weaks.shared {
+		vm.weaks.shared = true
+	}
+	nv := &VM{
+		process: vm.process,
+		clock:   clock,
+		globals: &table{kind: KindGlobal, max: vm.globals.max, serial: vm.globals.serial,
+			entries: vm.globals.entries, shared: true},
+		weaks: &table{kind: KindWeakGlobal, max: vm.weaks.max, serial: vm.weaks.serial,
+			entries: vm.weaks.entries, shared: true},
+		collectable:        vm.collectable,
+		gcTrigger:          vm.gcTrigger,
+		aborted:            vm.aborted,
+		abortedReason:      vm.abortedReason,
+		onAbort:            onAbort,
+		totalGlobalAdds:    vm.totalGlobalAdds,
+		totalGlobalRemoves: vm.totalGlobalRemoves,
+		peakGlobals:        vm.peakGlobals,
+		gcCycles:           vm.gcCycles,
+	}
+	nv.frames = []*table{newTable(KindLocal, DefaultMaxLocalRefs)}
+	return nv
 }
 
 // abort marks the runtime dead and fires the abort callback once.

@@ -81,6 +81,11 @@ type LocalBinder struct {
 	class   string
 	handler Transactor
 	id      uint64
+	// node is the driver node minted the first time this binder crosses a
+	// process boundary; nil until then, and reset to nil when the owner
+	// dies. A LocalBinder belongs to exactly one driver, so caching the
+	// edge here replaces the driver's binder→node map.
+	node *node
 }
 
 // Owner returns the hosting process.

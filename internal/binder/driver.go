@@ -234,13 +234,22 @@ type Driver struct {
 	cfg   Config
 	clock clockIface
 
-	nextHandle   Handle
 	nextObj      art.ObjectID
 	nextBinderID uint64
-	nodes        map[Handle]*node
-	nodeByBinder map[*LocalBinder]*node
-	nodesByOwner map[kernel.Pid][]*node
-	ctxs         map[kernel.Pid]*procContext
+	// nodes holds every node the driver has minted, indexed by handle-1:
+	// handles are issued densely from 1, so one slice replaces the three
+	// maps (by handle, by binder, by owner) this used to take. The
+	// binder→node edge lives on the LocalBinder itself; per-owner walks
+	// (process death only) scan the slice.
+	nodes []*node
+	ctxs  map[kernel.Pid]*procContext
+	// nodeSlab and lbSlab are block allocators for nodes and
+	// LocalBinders: boot (and every device clone) mints one of each per
+	// census service, and a block amortizes ~100 small heap allocations
+	// into one. Blocks are never appended past capacity, so pointers into
+	// them stay valid; exhausted blocks are simply replaced.
+	nodeSlab []node
+	lbSlab   []LocalBinder
 
 	logging bool
 	logSeq  uint64
@@ -311,16 +320,15 @@ func New(k *kernel.Kernel, cfg Config) *Driver {
 		cfg.LogCost = DefaultLogCost
 	}
 	d := &Driver{
-		k:            k,
-		cfg:          cfg,
-		clock:        k.Clock(),
-		nextHandle:   1,
-		nodes:        make(map[Handle]*node),
-		nodeByBinder: make(map[*LocalBinder]*node),
-		nodesByOwner: make(map[kernel.Pid][]*node),
-		ctxs:         make(map[kernel.Pid]*procContext),
-		byPid:        make(map[kernel.Pid][]int),
-		byUid:        make(map[kernel.Uid][]int),
+		k:     k,
+		cfg:   cfg,
+		clock: k.Clock(),
+		// Booting (or cloning) a device mints a node per census service;
+		// presizing skips the append-growth copies on that path.
+		nodes: make([]*node, 0, 128),
+		ctxs:  make(map[kernel.Pid]*procContext),
+		byPid: make(map[kernel.Pid][]int),
+		byUid: make(map[kernel.Uid][]int),
 	}
 	k.OnKill(func(p *kernel.Process, _ string) { d.onProcessDeath(p) })
 	if reg := cfg.Metrics; reg != nil {
@@ -329,6 +337,21 @@ func New(k *kernel.Kernel, cfg Config) *Driver {
 		d.registerMetrics(reg)
 	}
 	return d
+}
+
+// AttachMetrics instruments the driver into reg after construction.
+// Device clones defer telemetry registration until the registry is first
+// needed, so cloning stays microseconds; everything the gauges read is a
+// counter the driver keeps regardless, so late attachment loses nothing
+// except txBytes histogram observations made before the attach.
+func (d *Driver) AttachMetrics(reg *telemetry.Registry) {
+	if d.txBytes != nil || reg == nil {
+		return
+	}
+	d.cfg.Metrics = reg
+	d.txBytes = reg.Histogram("jgre_binder_tx_bytes",
+		"Binder transaction payload sizes in bytes.", telemetry.SizeBuckets)
+	d.registerMetrics(reg)
 }
 
 // registerMetrics wires the driver's pull gauges: every series reads a
@@ -413,7 +436,13 @@ func (d *Driver) NewLocalBinder(proc *kernel.Process, class string, handler Tran
 		class = "android.os.Binder"
 	}
 	d.nextBinderID++
-	return &LocalBinder{driver: d, owner: proc, class: class, handler: handler, id: d.nextBinderID}
+	if len(d.lbSlab) == cap(d.lbSlab) {
+		d.lbSlab = make([]LocalBinder, 0, 128)
+	}
+	d.lbSlab = d.lbSlab[:len(d.lbSlab)+1]
+	lb := &d.lbSlab[len(d.lbSlab)-1]
+	*lb = LocalBinder{driver: d, owner: proc, class: class, handler: handler, id: d.nextBinderID}
+	return lb
 }
 
 // context returns (creating if needed) the per-process binder state.
@@ -449,16 +478,24 @@ func (d *Driver) Materialize(proc *kernel.Process, b IBinder) (*BinderRef, error
 }
 
 func (d *Driver) ensureNode(lb *LocalBinder) *node {
-	if n, ok := d.nodeByBinder[lb]; ok {
-		return n
+	if lb.node != nil {
+		return lb.node
 	}
-	n := &node{handle: d.nextHandle, local: lb, owner: lb.owner}
-	d.nextHandle++
-	d.nodes[n.handle] = n
-	d.nodeByBinder[lb] = n
-	d.nodesByOwner[lb.owner.Pid()] = append(d.nodesByOwner[lb.owner.Pid()], n)
+	if len(d.nodeSlab) == cap(d.nodeSlab) {
+		d.nodeSlab = make([]node, 0, 128)
+	}
+	d.nodeSlab = d.nodeSlab[:len(d.nodeSlab)+1]
+	n := &d.nodeSlab[len(d.nodeSlab)-1]
+	*n = node{handle: Handle(len(d.nodes) + 1), local: lb, owner: lb.owner}
+	d.nodes = append(d.nodes, n)
+	lb.node = n
 	return n
 }
+
+// NodeCount returns how many binder nodes (handles) the driver has
+// minted since boot. Device cloning uses it to assert the replayed stub
+// set reproduced the template's handle space exactly.
+func (d *Driver) NodeCount() int { return len(d.nodes) }
 
 // addRemoteRef notes a new proxy on n; the first remote holder pins the
 // owner-side JavaBBinder global reference.
@@ -666,8 +703,8 @@ func (d *Driver) onProcessDeath(p *kernel.Process) {
 			}
 		}
 	}
-	for _, n := range d.nodesByOwner[pid] {
-		if n.dead {
+	for _, n := range d.nodes {
+		if n.dead || n.owner.Pid() != pid {
 			continue
 		}
 		n.dead = true
@@ -679,9 +716,11 @@ func (d *Driver) onProcessDeath(p *kernel.Process) {
 				dl.fire()
 			}
 		}
-		delete(d.nodeByBinder, n.local)
+		// Unlink the binder→node edge so a later flatten of the same
+		// (dead) binder mints a fresh node, matching the map-era behaviour
+		// of deleting the registration on death.
+		n.local.node = nil
 	}
-	delete(d.nodesByOwner, pid)
 }
 
 // EnableIPCLogging turns on transaction recording, creating the kernel-

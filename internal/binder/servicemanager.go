@@ -16,8 +16,17 @@ import (
 // (Code-Snippet 2 calls ServiceManager.getService("wifi") and hits the raw
 // IWifiManager interface).
 type ServiceManager struct {
-	driver   *Driver
+	driver *Driver
+	// services is the mutable registry; on a clone it overlays frozen,
+	// with a nil binder as a removal tombstone. It is nil until the first
+	// write so that clones which never re-register pay nothing.
 	services map[string]*LocalBinder
+	// frozen is a sealed template's registry, shared read-only by every
+	// clone. Its binders belong to the TEMPLATE; resolve() remaps one to
+	// this driver's equivalent stub through its node handle, which is
+	// valid because device clones replay stub minting in boot order and
+	// therefore reproduce the template's handle space exactly.
+	frozen map[string]*LocalBinder
 }
 
 // Registration errors.
@@ -29,7 +38,37 @@ var (
 
 // NewServiceManager creates an empty registry on the driver.
 func NewServiceManager(d *Driver) *ServiceManager {
-	return &ServiceManager{driver: d, services: make(map[string]*LocalBinder)}
+	// Presized for the full census (104 services): a fresh boot registers
+	// every service, and incremental map growth would rehash the table
+	// several times on that path.
+	return &ServiceManager{driver: d, services: make(map[string]*LocalBinder, 128)}
+}
+
+// Clone returns a registry for a cloned device's driver that shares this
+// (template) registry's name table read-only. No re-registration runs:
+// lookups remap the template's binders onto d's replayed stubs by handle.
+func (sm *ServiceManager) Clone(d *Driver) *ServiceManager {
+	base := sm.frozen
+	if base == nil {
+		base = sm.services
+	}
+	return &ServiceManager{driver: d, frozen: base}
+}
+
+// resolve returns the binder registered under name on this manager's own
+// driver, consulting the overlay first and then the frozen base.
+func (sm *ServiceManager) resolve(name string) *LocalBinder {
+	if b, ok := sm.services[name]; ok {
+		return b // nil if tombstoned
+	}
+	tb := sm.frozen[name]
+	if tb == nil || tb.node == nil {
+		return nil
+	}
+	if h := int(tb.node.handle) - 1; h >= 0 && h < len(sm.driver.nodes) {
+		return sm.driver.nodes[h].local
+	}
+	return nil
 }
 
 // AddService registers a service binder under name. Only non-app uids may
@@ -45,8 +84,11 @@ func (sm *ServiceManager) AddService(name string, b *LocalBinder) error {
 	if kernel.IsAppUid(b.Owner().Uid()) {
 		return fmt.Errorf("register %q from uid %d: %w", name, b.Owner().Uid(), ErrNotSystem)
 	}
-	if _, ok := sm.services[name]; ok {
+	if sm.resolve(name) != nil {
 		return fmt.Errorf("register %q: %w", name, ErrServiceExists)
+	}
+	if sm.services == nil {
+		sm.services = make(map[string]*LocalBinder)
 	}
 	sm.services[name] = b
 	return nil
@@ -54,20 +96,28 @@ func (sm *ServiceManager) AddService(name string, b *LocalBinder) error {
 
 // RemoveService drops a registration (used on soft reboot).
 func (sm *ServiceManager) RemoveService(name string) {
+	if _, shadowed := sm.frozen[name]; shadowed {
+		if sm.services == nil {
+			sm.services = make(map[string]*LocalBinder)
+		}
+		sm.services[name] = nil // tombstone over the frozen base
+		return
+	}
 	delete(sm.services, name)
 }
 
 // Clear drops every registration (soft reboot).
 func (sm *ServiceManager) Clear() {
 	sm.services = make(map[string]*LocalBinder)
+	sm.frozen = nil
 }
 
 // GetService returns client's handle on the named service: a retained
 // proxy whose JGR lives in the client process, as the framework caches
 // service binders process-wide.
 func (sm *ServiceManager) GetService(name string, client *kernel.Process) (*BinderRef, error) {
-	b, ok := sm.services[name]
-	if !ok {
+	b := sm.resolve(name)
+	if b == nil {
 		return nil, fmt.Errorf("get %q: %w", name, ErrServiceNotFound)
 	}
 	if !b.IsAlive() {
@@ -78,16 +128,23 @@ func (sm *ServiceManager) GetService(name string, client *kernel.Process) (*Bind
 
 // CheckService reports whether a live service is registered under name.
 func (sm *ServiceManager) CheckService(name string) bool {
-	b, ok := sm.services[name]
-	return ok && b.IsAlive()
+	b := sm.resolve(name)
+	return b != nil && b.IsAlive()
 }
 
 // ListServices returns all registered service names, sorted — the
 // `service list` view the paper's IPC method extractor starts from.
 func (sm *ServiceManager) ListServices() []string {
-	out := make([]string, 0, len(sm.services))
-	for name := range sm.services {
-		out = append(out, name)
+	out := make([]string, 0, len(sm.services)+len(sm.frozen))
+	for name, b := range sm.services {
+		if b != nil {
+			out = append(out, name)
+		}
+	}
+	for name := range sm.frozen {
+		if _, shadowed := sm.services[name]; !shadowed {
+			out = append(out, name)
+		}
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,219 @@
+package device
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/binder"
+	"repro/internal/faults"
+	"repro/internal/kernel"
+	"repro/internal/permissions"
+	"repro/internal/services"
+	"repro/internal/simclock"
+	"repro/internal/trace"
+)
+
+// The clone-template cache behind Boot: one sealed, fully-booted device
+// per configuration shape. Booting a device costs milliseconds (104
+// services, ~382 processes); cloning one costs microseconds, because
+// every layer shares the template's state copy-on-write. The cache is
+// deliberately tiny — experiment sweeps use a handful of configuration
+// shapes with many seeds each.
+var (
+	cloneBootMu   sync.Mutex
+	cloneBootOff  bool
+	templates     = map[templateKey]*Device{}
+	templateOrder []templateKey
+)
+
+const maxTemplates = 4
+
+// templateKey is the comparable, seed-independent shape of a Config.
+// Seed is deliberately excluded: boot consumes no random draws (jitter
+// rngs seed lazily on first use), so devices differing only by seed can
+// share one template and be re-keyed at clone time.
+type templateKey struct {
+	maxGlobalRefs     int
+	maxWeakGlobalRefs int
+	gcTrigger         int
+	appMemoryBudgetKB int
+	latency           binder.LatencyModel
+	logCost           binder.LatencyModel
+	faults            faults.Config
+	baselineProcesses int
+	skipBaselineRefs  bool
+	universalQuota    int
+	installThirdParty bool
+}
+
+// templateKeyOf reduces cfg to its template key. Configurations carrying
+// caller-supplied hooks, injectors or registries are not cacheable —
+// those pointers are per-device state a template cannot share.
+func templateKeyOf(cfg Config) (templateKey, bool) {
+	if cfg.ServerVM.OnAbort != nil || cfg.Kernel.OnSystemServerDeath != nil ||
+		cfg.Driver.Faults != nil || cfg.Driver.Metrics != nil {
+		return templateKey{}, false
+	}
+	return templateKey{
+		maxGlobalRefs:     cfg.ServerVM.MaxGlobalRefs,
+		maxWeakGlobalRefs: cfg.ServerVM.MaxWeakGlobalRefs,
+		gcTrigger:         cfg.ServerVM.GCTrigger,
+		appMemoryBudgetKB: cfg.Kernel.AppMemoryBudgetKB,
+		latency:           cfg.Driver.Latency,
+		logCost:           cfg.Driver.LogCost,
+		faults:            cfg.Faults,
+		baselineProcesses: cfg.BaselineProcesses,
+		skipBaselineRefs:  cfg.SkipBaselineRefs,
+		universalQuota:    cfg.UniversalQuota,
+		installThirdParty: cfg.InstallThirdPartyApps,
+	}, true
+}
+
+// SetCloneBoot enables or disables the clone-template cache behind Boot
+// and clears it. Disabled, every Boot builds a device from scratch
+// (equivalence tests use this to compare clone against fresh boots).
+func SetCloneBoot(enabled bool) {
+	cloneBootMu.Lock()
+	defer cloneBootMu.Unlock()
+	cloneBootOff = !enabled
+	templates = map[templateKey]*Device{}
+	templateOrder = nil
+}
+
+// Snapshot seals the device as an immutable clone template: the kernel
+// rejects further Spawn/Kill, every process VM's reference tables are
+// frozen copy-on-write, and the permission definition map is marked
+// shared. Snapshot is meant for a boot-quiescent device (no transactions
+// run yet); it is idempotent, one-way, and must not race with clones —
+// call it once before handing the template to concurrent cloners.
+func (d *Device) Snapshot() {
+	if d.sealed {
+		return
+	}
+	d.sealed = true
+	d.kern.Seal()
+	d.perms.Freeze()
+}
+
+// Clone returns a copy-on-write clone of the device with the same seed.
+// See CloneWithSeed.
+func (d *Device) Clone() (*Device, error) { return d.CloneWithSeed(d.cfg.Seed) }
+
+// CloneWithSeed builds a device sharing this (sealed) device's boot
+// state copy-on-write: the process table and every VM's reference tables
+// come from the kernel snapshot, immutable service metadata is shared,
+// and only the mutable shells — driver, service manager, stubs, per-run
+// rng seeds — are rebuilt, in boot order, so driver ids and handles
+// replay identically. The clone runs on its own virtual clock and is
+// byte-for-byte equivalent to BootFresh with the same config and seed.
+// Snapshot is taken automatically on first use; taking it here is not
+// safe against concurrent clones, so pre-Snapshot templates that fan
+// out across goroutines.
+func (d *Device) CloneWithSeed(seed int64) (*Device, error) {
+	if !d.sealed {
+		d.Snapshot()
+	}
+	nd := &Device{cfg: d.cfg}
+	nd.cfg.Seed = seed
+	nd.clock = simclock.New()
+	nd.clock.AdvanceTo(d.clock.Now())
+
+	userReboot := nd.cfg.Kernel.OnSystemServerDeath
+	nd.kern = d.kern.Clone(nd.clock, func(reason string) {
+		if userReboot != nil {
+			userReboot(reason)
+		}
+		nd.restartSystem(reason)
+	})
+	// Kill observers re-register in boot order: journal first, then the
+	// binder driver (inside binder.New).
+	nd.journal = trace.New(0)
+	nd.kern.OnKill(func(p *kernel.Process, reason string) {
+		kind := trace.KindKill
+		if reason == "lmk" {
+			kind = trace.KindLMK
+		}
+		nd.journal.Add(nd.clock.Now(), kind, p.Name(), reason)
+	})
+
+	dcfg := nd.cfg.Driver
+	if nd.cfg.Faults.Enabled() {
+		if dcfg.Faults != nil {
+			return nil, fmt.Errorf("device: both Config.Faults and Driver.Faults set")
+		}
+		if err := nd.cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		dcfg.Faults = faults.New(nd.cfg.Faults, seed)
+	}
+	// Telemetry is deferred: Metrics() builds the registry and attaches
+	// the driver's instruments on first use, keeping the clone path free
+	// of the ~120 gauge registrations a boot pays eagerly.
+	dcfg.Metrics = nil
+	nd.driver = binder.New(nd.kern, dcfg)
+	nd.sm = d.sm.Clone(nd.driver)
+
+	nd.perms = new(permissions.Manager)
+	d.perms.CloneInto(nd.perms)
+	nd.apps = new(apps.Manager)
+	d.apps.CloneInto(nd.apps, nd.kern, nd.perms)
+	nd.appReg = apps.NewServiceRegistry(nd.driver)
+
+	nd.hosts = make(map[string]*kernel.Process, len(d.hosts))
+	for name, p := range d.hosts {
+		nd.hosts[name] = nd.kern.Process(p.Pid())
+	}
+	nd.systemServer = nd.hosts[kernel.SystemServerName]
+
+	// System services replay in recorded creation order — the same order
+	// startSystem walked the catalog — into one slab allocation. The
+	// template's own bookkeeping (svcOrder, Host().Name()) stands in for
+	// the census so the hot path never copies it.
+	nd.services = make(map[string]*services.Service, len(d.services))
+	nd.handleIndex = make(map[binder.Handle]handleEntry, len(d.handleIndex))
+	nd.svcOrder = d.svcOrder
+	svcSlab := make([]services.Service, len(d.svcOrder))
+	for i, name := range d.svcOrder {
+		tmpl := d.services[name]
+		if tmpl == nil {
+			return nil, fmt.Errorf("device: clone template missing service %s", name)
+		}
+		svc := &svcSlab[i]
+		tmpl.CloneInto(svc, nd.hosts[tmpl.Host().Name()], nd.driver, nd.clock, nd.perms, seed)
+		nd.services[name] = svc
+		nd.handleIndex[nd.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: name}
+	}
+
+	// App services replay in recorded publish order.
+	nd.appServices = make(map[string]*apps.AppService, len(d.appServices))
+	nd.appOrder = append([]string(nil), d.appOrder...)
+	appSlab := make([]apps.AppService, len(d.appOrder))
+	for i, name := range d.appOrder {
+		tmpl := d.appServices[name]
+		owner := nd.apps.ByPackage(tmpl.Owner().Package())
+		if owner == nil {
+			return nil, fmt.Errorf("device: clone template missing app %s", tmpl.Owner().Package())
+		}
+		svc := &appSlab[i]
+		if err := tmpl.CloneInto(svc, owner, nd.driver, nd.clock, nd.appReg, seed); err != nil {
+			return nil, fmt.Errorf("device: cloning app service %s: %w", name, err)
+		}
+		nd.appServices[name] = svc
+		nd.handleIndex[nd.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
+	}
+
+	if got, want := nd.driver.NodeCount(), d.driver.NodeCount(); got != want {
+		return nil, fmt.Errorf("device: clone replay minted %d binder nodes, template has %d", got, want)
+	}
+
+	nd.bootCount = d.bootCount
+	nd.broadcastSeq = d.broadcastSeq
+
+	if err := nd.kern.ProcFS().CreateProvider(MetricsPath, kernel.RootUid, false, func() []byte {
+		return nd.Metrics().RenderProm()
+	}); err != nil {
+		return nil, err
+	}
+	return nd, nil
+}

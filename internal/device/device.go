@@ -109,7 +109,16 @@ type Device struct {
 	hosts        map[string]*kernel.Process
 	services     map[string]*services.Service
 	appServices  map[string]*apps.AppService
-	handleIndex  map[binder.Handle]handleEntry
+	// svcOrder and appOrder record the service creation/publish order so
+	// a snapshot clone can replay the stubs and reproduce the template's
+	// driver ids without consulting (and copying) the catalog census.
+	svcOrder    []string
+	appOrder    []string
+	handleIndex map[binder.Handle]handleEntry
+
+	// sealed marks the device as an immutable snapshot template (see
+	// Snapshot); it must not run workloads from then on, only clone.
+	sealed bool
 
 	// resolveMu guards resolveMemo, the (handle, code) → IPCTarget cache
 	// behind Resolve. The lock exists for Resolve's concurrent readers
@@ -158,8 +167,51 @@ func (d *Device) invalidateResolve() {
 	d.resolveMu.Unlock()
 }
 
-// Boot builds and starts a device.
+// Boot returns a booted device. When the configuration is cacheable —
+// no caller-supplied hooks, injectors or registries — the device is a
+// microsecond copy-on-write clone of a snapshot template that was booted
+// once per configuration shape and sealed (see Snapshot/CloneWithSeed);
+// otherwise it falls through to BootFresh. Clones are byte-identical to
+// fresh boots: the seed only feeds lazily-initialized jitter rngs, which
+// CloneWithSeed re-keys. SetCloneBoot(false) disables the cache.
 func Boot(cfg Config) (*Device, error) {
+	if cfg.BaselineProcesses == 0 {
+		cfg.BaselineProcesses = DefaultBaselineProcesses
+	}
+	key, cacheable := templateKeyOf(cfg)
+	if !cacheable {
+		return BootFresh(cfg)
+	}
+	cloneBootMu.Lock()
+	if cloneBootOff {
+		cloneBootMu.Unlock()
+		return BootFresh(cfg)
+	}
+	tmpl := templates[key]
+	if tmpl == nil {
+		var err error
+		tmpl, err = BootFresh(cfg)
+		if err != nil {
+			cloneBootMu.Unlock()
+			return nil, err
+		}
+		tmpl.Snapshot()
+		if len(templateOrder) >= maxTemplates {
+			delete(templates, templateOrder[0])
+			templateOrder = templateOrder[1:]
+		}
+		templates[key] = tmpl
+		templateOrder = append(templateOrder, key)
+	}
+	cloneBootMu.Unlock()
+	// Every caller — including the one that just paid for the template —
+	// gets a clone; the sealed template never leaves the cache.
+	return tmpl.CloneWithSeed(cfg.Seed)
+}
+
+// BootFresh builds and starts a device from scratch, bypassing the
+// clone-template cache (benchmarks comparing boot vs clone use this).
+func BootFresh(cfg Config) (*Device, error) {
 	if cfg.BaselineProcesses == 0 {
 		cfg.BaselineProcesses = DefaultBaselineProcesses
 	}
@@ -257,6 +309,7 @@ func (d *Device) publishThirdPartyServices() error {
 			return fmt.Errorf("device: publishing %s: %w", name, err)
 		}
 		d.appServices[name] = svc
+		d.appOrder = append(d.appOrder, name)
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
 	}
 	d.invalidateResolve()
@@ -268,6 +321,7 @@ func (d *Device) publishThirdPartyServices() error {
 func (d *Device) startSystem() error {
 	d.hosts = make(map[string]*kernel.Process)
 	d.services = make(map[string]*services.Service)
+	d.svcOrder = nil
 	d.handleIndex = make(map[binder.Handle]handleEntry)
 	d.invalidateResolve()
 
@@ -314,6 +368,7 @@ func (d *Device) startSystem() error {
 			return fmt.Errorf("device: starting %s: %w", meta.Name, err)
 		}
 		d.services[meta.Name] = svc
+		d.svcOrder = append(d.svcOrder, meta.Name)
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: meta.Name}
 	}
 	d.invalidateResolve()
@@ -336,6 +391,7 @@ func (d *Device) installPrebuilts() error {
 
 func (d *Device) publishPrebuiltServices() error {
 	d.appServices = make(map[string]*apps.AppService)
+	d.appOrder = nil
 	grouped := make(map[string][]catalog.AppInterface)
 	var order []string
 	for _, row := range catalog.PrebuiltAppInterfaces() {
@@ -357,6 +413,7 @@ func (d *Device) publishPrebuiltServices() error {
 			return fmt.Errorf("device: publishing %s: %w", name, err)
 		}
 		d.appServices[name] = svc
+		d.appOrder = append(d.appOrder, name)
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
 	}
 	d.invalidateResolve()

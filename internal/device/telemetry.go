@@ -37,9 +37,20 @@ type DefenderHealth struct {
 	GuardStops       int
 }
 
-// Metrics returns the device's telemetry registry. Every booted device
-// has one; layers instrument into it and /proc/jgre_metrics renders it.
-func (d *Device) Metrics() *telemetry.Registry { return d.metrics }
+// Metrics returns the device's telemetry registry. A fresh boot builds
+// it eagerly; clones defer it — the registry is created and the binder
+// driver's instruments attached on first call, so clone-heavy sweeps
+// that never scrape metrics skip the ~130 registrations entirely.
+// Envelopes and Stats never read through here, so deferral cannot
+// change simulation output.
+func (d *Device) Metrics() *telemetry.Registry {
+	if d.metrics == nil {
+		d.metrics = telemetry.NewRegistry()
+		d.driver.AttachMetrics(d.metrics)
+		d.registerMetrics()
+	}
+	return d.metrics
+}
 
 // SetDefenderHealth installs the defender's health provider. The
 // defense package calls this when a Defender attaches; Stats and the

@@ -61,6 +61,10 @@ type Process struct {
 	vm       *art.VM
 	deathFns []func(*Process)
 	k        *Kernel
+	// userAbort is the caller-supplied VM abort hook from SpawnConfig,
+	// kept separately from the kernel-reaper wrapper installed on the VM
+	// so a snapshot clone can rebuild the wrapper against its own kernel.
+	userAbort func(reason string)
 }
 
 // Pid returns the process id.
@@ -136,13 +140,31 @@ type Config struct {
 // SystemServerName is the process name whose death soft-reboots Android.
 const SystemServerName = "system_server"
 
-// Kernel is the simulated kernel. Create with New.
+// Kernel is the simulated kernel. Create with New, or clone a sealed
+// kernel with Clone.
+//
+// A cloned kernel shares its template's process table as an immutable
+// frozen base: processes materialize into the clone's own table (procs)
+// only when a caller needs a mutable handle (Kill, Process, FindProcess,
+// Processes). Read-only scans — LMK accounting, RunningCount — walk the
+// frozen base directly, so a clone of a 400-process device costs a few
+// map allocations rather than 400 process + VM constructions.
 type Kernel struct {
 	clock   *simclock.Clock
 	cfg     Config
 	nextPid Pid
 	procs   map[Pid]*Process
-	procfs  *ProcFS
+	// frozen is the sealed template's process table (nil for a kernel
+	// built with New). Entries are shared across every clone and must
+	// never be mutated; a pid present in procs shadows its frozen entry.
+	frozen map[Pid]*Process
+	sealed bool
+	procfs *ProcFS
+	// running counts alive processes, maintained on every aliveness
+	// transition so RunningCount is O(1) — it is a per-render telemetry
+	// gauge and a post-clone sanity check, both of which would otherwise
+	// scan the full process table.
+	running int
 
 	softReboots int
 	lmkKills    int
@@ -164,6 +186,115 @@ func New(clock *simclock.Clock, cfg Config) *Kernel {
 		procs:   make(map[Pid]*Process),
 		procfs:  NewProcFS(),
 	}
+}
+
+// Seal freezes the kernel as a snapshot template: Spawn and Kill panic
+// from here on, which guarantees the process table Clone shares stays
+// immutable. Every process VM is frozen (reference tables marked
+// copy-on-write) so concurrent clones never write template state.
+// Sealing is one-way.
+func (k *Kernel) Seal() {
+	if k.sealed {
+		return
+	}
+	k.sealed = true
+	for _, p := range k.procs {
+		p.vm.Freeze()
+	}
+}
+
+// Clone creates a kernel that shares this sealed kernel's process table
+// as a copy-on-write base. The clone runs on its own clock and fires its
+// own OnSystemServerDeath hook; kill observers (OnKill) start empty and
+// must be re-registered by the layers above, in the same order as at
+// boot. Cloning an unsealed kernel, or re-cloning a clone, panics.
+func (k *Kernel) Clone(clock *simclock.Clock, onSystemServerDeath func(reason string)) *Kernel {
+	if !k.sealed {
+		panic("kernel: Clone of unsealed kernel")
+	}
+	if k.frozen != nil {
+		panic("kernel: Clone of a clone")
+	}
+	if clock == nil {
+		panic("kernel: Clone requires a clock")
+	}
+	cfg := k.cfg
+	cfg.OnSystemServerDeath = onSystemServerDeath
+	nk := &Kernel{
+		clock:       clock,
+		cfg:         cfg,
+		nextPid:     k.nextPid,
+		procs:       make(map[Pid]*Process),
+		frozen:      k.procs,
+		procfs:      NewProcFS(),
+		softReboots: k.softReboots,
+		lmkKills:    k.lmkKills,
+		running:     k.running,
+	}
+	k.procfs.CloneInto(nk.procfs)
+	return nk
+}
+
+// lookup returns the process for pid from the clone overlay or the
+// frozen base, alive or dead, without materializing. The result must be
+// treated as read-only unless it came from k.procs.
+func (k *Kernel) lookup(pid Pid) *Process {
+	if p, ok := k.procs[pid]; ok {
+		return p
+	}
+	return k.frozen[pid] // nil-map lookup is fine for non-clones
+}
+
+// each calls fn for every process, overlay entries shadowing frozen ones.
+func (k *Kernel) each(fn func(*Process)) {
+	for _, p := range k.procs {
+		fn(p)
+	}
+	for pid, p := range k.frozen {
+		if _, shadowed := k.procs[pid]; !shadowed {
+			fn(p)
+		}
+	}
+}
+
+// materialize returns a mutable, clone-owned process for pid, copying it
+// out of the frozen base on first use. The copy gets its own VM built on
+// the frozen VM's reference tables (copy-on-write, see art.VM.Clone) and
+// an abort hook rebuilt against this kernel.
+func (k *Kernel) materialize(pid Pid) *Process {
+	if p, ok := k.procs[pid]; ok {
+		return p
+	}
+	fp, ok := k.frozen[pid]
+	if !ok {
+		return nil
+	}
+	if len(fp.deathFns) > 0 {
+		// Death callbacks are closures over template state; a booted
+		// device has none registered, so hitting this means a snapshot
+		// was taken after the template started running workloads.
+		panic("kernel: cannot materialize a process with death notifications")
+	}
+	p := &Process{
+		pid:         fp.pid,
+		uid:         fp.uid,
+		name:        fp.name,
+		oomScoreAdj: fp.oomScoreAdj,
+		memoryKB:    fp.memoryKB,
+		startedAt:   fp.startedAt,
+		alive:       fp.alive,
+		exitReason:  fp.exitReason,
+		k:           k,
+		userAbort:   fp.userAbort,
+	}
+	p.vm = fp.vm.Clone(k.clock, func(reason string) {
+		if p.userAbort != nil {
+			p.userAbort(reason)
+		}
+		k.Kill(p.pid, "runtime abort: "+reason)
+	})
+	k.procs[pid] = p
+	return p
 }
 
 // Clock returns the kernel's clock.
@@ -192,6 +323,9 @@ func (k *Kernel) Spawn(cfg SpawnConfig) *Process {
 	if cfg.Name == "" {
 		panic("kernel: Spawn requires a process name")
 	}
+	if k.sealed {
+		panic("kernel: Spawn on kernel sealed by snapshot")
+	}
 	if cfg.MemoryKB == 0 {
 		cfg.MemoryKB = DefaultAppMemoryKB
 	}
@@ -204,14 +338,14 @@ func (k *Kernel) Spawn(cfg SpawnConfig) *Process {
 		startedAt:   k.clock.Now(),
 		alive:       true,
 		k:           k,
+		userAbort:   cfg.VM.OnAbort,
 	}
 	k.nextPid++
 
 	vmCfg := cfg.VM
-	userAbort := vmCfg.OnAbort
 	vmCfg.OnAbort = func(reason string) {
-		if userAbort != nil {
-			userAbort(reason)
+		if p.userAbort != nil {
+			p.userAbort(reason)
 		}
 		// Runtime abort kills the owning process (paper §II-A: "the
 		// victim process's runtime will abort").
@@ -220,52 +354,54 @@ func (k *Kernel) Spawn(cfg SpawnConfig) *Process {
 	p.vm = art.NewVM(cfg.Name, k.clock, vmCfg)
 
 	k.procs[p.pid] = p
+	k.running++
 	k.runLMK()
 	return p
 }
 
 // Process returns the process with the given pid, or nil.
 func (k *Kernel) Process(pid Pid) *Process {
-	p := k.procs[pid]
+	p := k.lookup(pid)
 	if p == nil || !p.alive {
 		return nil
 	}
-	return p
+	return k.materialize(pid)
 }
 
 // FindProcess returns the first alive process with the given name, or nil.
 func (k *Kernel) FindProcess(name string) *Process {
 	var best *Process
-	for _, p := range k.procs {
+	k.each(func(p *Process) {
 		if p.alive && p.name == name && (best == nil || p.pid < best.pid) {
 			best = p
 		}
+	})
+	if best == nil {
+		return nil
 	}
-	return best
+	return k.materialize(best.pid)
 }
 
-// Processes returns all alive processes sorted by pid.
+// Processes returns all alive processes sorted by pid. On a clone this
+// materializes the full table; it is a diagnostic path (dumpsys), not a
+// hot one.
 func (k *Kernel) Processes() []*Process {
-	out := make([]*Process, 0, len(k.procs))
-	for _, p := range k.procs {
+	var pids []Pid
+	k.each(func(p *Process) {
 		if p.alive {
-			out = append(out, p)
+			pids = append(pids, p.pid)
 		}
+	})
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	out := make([]*Process, len(pids))
+	for i, pid := range pids {
+		out[i] = k.materialize(pid)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
 	return out
 }
 
 // RunningCount returns the number of alive processes.
-func (k *Kernel) RunningCount() int {
-	n := 0
-	for _, p := range k.procs {
-		if p.alive {
-			n++
-		}
-	}
-	return n
-}
+func (k *Kernel) RunningCount() int { return k.running }
 
 // ErrNoSuchProcess is returned by Kill for a dead or unknown pid.
 var ErrNoSuchProcess = errors.New("kernel: no such process")
@@ -274,11 +410,15 @@ var ErrNoSuchProcess = errors.New("kernel: no such process")
 // system_server triggers a soft reboot: every non-system process dies with
 // it (their runtimes, and thus all their references, are discarded).
 func (k *Kernel) Kill(pid Pid, reason string) error {
-	p := k.procs[pid]
-	if p == nil || !p.alive {
+	if k.sealed {
+		panic("kernel: Kill on kernel sealed by snapshot")
+	}
+	if p := k.lookup(pid); p == nil || !p.alive {
 		return ErrNoSuchProcess
 	}
+	p := k.materialize(pid)
 	p.alive = false
+	k.running--
 	p.exitReason = reason
 	// Death notifications fire in registration order; recipients may kill
 	// further processes (binder death cascades), which is safe because
@@ -301,11 +441,22 @@ func (k *Kernel) Kill(pid Pid, reason string) error {
 // Android system crashes, followed by a soft reboot").
 func (k *Kernel) softReboot(reason string) {
 	k.softReboots++
-	for _, p := range k.procs {
-		if !p.alive || p.name == SystemServerName {
-			continue
+	// Collect victims before killing: death recipients may themselves kill
+	// processes, and on a clone the kill path materializes into k.procs,
+	// which must not happen while ranging over it.
+	var pids []Pid
+	k.each(func(p *Process) {
+		if p.alive && p.name != SystemServerName {
+			pids = append(pids, p.pid)
+		}
+	})
+	for _, pid := range pids {
+		p := k.materialize(pid)
+		if !p.alive {
+			continue // already killed by an earlier victim's death cascade
 		}
 		p.alive = false
+		k.running--
 		p.exitReason = "soft reboot: " + reason
 		for _, fn := range p.deathFns {
 			fn(p)
@@ -323,11 +474,11 @@ func (k *Kernel) softReboot(reason string) {
 // appMemoryKB sums the RSS of alive app-uid processes.
 func (k *Kernel) appMemoryKB() int {
 	total := 0
-	for _, p := range k.procs {
+	k.each(func(p *Process) {
 		if p.alive && IsAppUid(p.uid) {
 			total += p.memoryKB
 		}
-	}
+	})
 	return total
 }
 
@@ -348,9 +499,9 @@ func (k *Kernel) runLMK() {
 
 func (k *Kernel) lmkVictim() *Process {
 	var victim *Process
-	for _, p := range k.procs {
+	k.each(func(p *Process) {
 		if !p.alive || !IsAppUid(p.uid) || p.oomScoreAdj <= 0 {
-			continue
+			return
 		}
 		if victim == nil ||
 			p.oomScoreAdj > victim.oomScoreAdj ||
@@ -358,6 +509,6 @@ func (k *Kernel) lmkVictim() *Process {
 			(p.oomScoreAdj == victim.oomScoreAdj && p.startedAt == victim.startedAt && p.pid < victim.pid) {
 			victim = p
 		}
-	}
+	})
 	return victim
 }

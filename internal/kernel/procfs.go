@@ -45,6 +45,26 @@ func NewProcFS() *ProcFS {
 	return &ProcFS{files: make(map[string]*procFile)}
 }
 
+// CloneInto copies the receiver's data files into dst. Provider-backed
+// files are deliberately NOT carried over: their render closures are
+// bound to the template's producers (metrics registry, log ring), and
+// each producer re-registers its provider against the clone during
+// device cloning.
+func (fs *ProcFS) CloneInto(dst *ProcFS) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for path, f := range fs.files {
+		if f.render != nil {
+			continue
+		}
+		dst.files[path] = &procFile{
+			data:          append([]byte(nil), f.data...),
+			worldReadable: f.worldReadable,
+			ownerUid:      f.ownerUid,
+		}
+	}
+}
+
 // Create registers a new file owned by ownerUid. It fails if the path
 // already exists.
 func (fs *ProcFS) Create(path string, ownerUid Uid, worldReadable bool) error {

@@ -57,7 +57,11 @@ func (e *DeniedError) Error() string {
 // Manager holds permission definitions and per-uid grants.
 type Manager struct {
 	levels map[Permission]Level
-	grants map[kernel.Uid]map[Permission]bool
+	// levelsShared marks levels as a copy-on-write map shared with a
+	// snapshot template; Define materializes a private copy before the
+	// first new definition.
+	levelsShared bool
+	grants       map[kernel.Uid]map[Permission]bool
 }
 
 // NewManager returns an empty manager.
@@ -72,10 +76,46 @@ func NewManager() *Manager {
 // with a different level panics: the definition set is static platform
 // data.
 func (m *Manager) Define(p Permission, l Level) {
-	if old, ok := m.levels[p]; ok && old != l {
-		panic(fmt.Sprintf("permissions: %s redefined from %v to %v", p, old, l))
+	if old, ok := m.levels[p]; ok {
+		if old != l {
+			panic(fmt.Sprintf("permissions: %s redefined from %v to %v", p, old, l))
+		}
+		return // identical redefinition: no write, so a COW-shared map stays shared
+	}
+	if m.levelsShared {
+		levels := make(map[Permission]Level, len(m.levels)+1)
+		for dp, dl := range m.levels {
+			levels[dp] = dl
+		}
+		m.levels = levels
+		m.levelsShared = false
 	}
 	m.levels[p] = l
+}
+
+// Freeze marks the definition set copy-on-write shared ahead of
+// concurrent CloneInto calls; a snapshot template calls it once,
+// single-threaded.
+func (m *Manager) Freeze() { m.levelsShared = true }
+
+// CloneInto populates dst as a copy of a frozen manager: the (static)
+// definition map is shared copy-on-write, grants are deep-copied. The
+// receiver must have been Frozen first, so concurrent clones never
+// write template state.
+func (m *Manager) CloneInto(dst *Manager) {
+	if !m.levelsShared {
+		panic("permissions: CloneInto before Freeze")
+	}
+	dst.levels = m.levels
+	dst.levelsShared = true
+	dst.grants = make(map[kernel.Uid]map[Permission]bool, len(m.grants))
+	for uid, g := range m.grants {
+		ng := make(map[Permission]bool, len(g))
+		for p, v := range g {
+			ng[p] = v
+		}
+		dst.grants[uid] = ng
+	}
 }
 
 // Level returns the protection level of p. Undefined permissions report

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// TestCloneBootEquivalence asserts the snapshot/clone core's guarantee
+// over the whole registry: every scenario produces a byte-identical
+// canonical envelope whether its devices are fresh boots or
+// copy-on-write clones of a sealed template (wall time is the only run
+// metadata allowed to differ). The list comes from List(), so new
+// scenarios are covered the moment they register. The test is serial —
+// SetCloneBoot is a process-global toggle — but each pass is cheap at
+// Quick scale.
+func TestCloneBootEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every scenario twice; skipped under -short")
+	}
+	defer device.SetCloneBoot(true)
+	for _, sc := range List() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			run := func(cloneBoot bool) []byte {
+				device.SetCloneBoot(cloneBoot)
+				env, err := sc.Execute(context.Background(), Params{Scale: Quick, Workers: 1})
+				if err != nil {
+					t.Fatalf("cloneBoot=%v: %v", cloneBoot, err)
+				}
+				b, err := env.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			fresh, cloned := run(false), run(true)
+			if !bytes.Equal(fresh, cloned) {
+				t.Errorf("fresh-boot and clone-boot envelopes differ\nfresh: %.400s\nclone: %.400s", fresh, cloned)
+			}
+		})
+	}
+}

@@ -128,7 +128,15 @@ type Service struct {
 	driver *binder.Driver
 	clock  *simclock.Clock
 	perms  *permissions.Manager
-	rng    *rand.Rand
+
+	// rng is seeded lazily on the first jitter draw: with 104 services per
+	// device, eager seeding dominates both boot and clone cost, and most
+	// services in a run are never called. rngSeed is the full mixed seed;
+	// seedMix is the per-service component, kept so a clone onto a
+	// different device seed can recompute rngSeed without rehashing.
+	rng     *rand.Rand
+	rngSeed int64
+	seedMix int64
 
 	stub    *binder.LocalBinder
 	methods map[binder.TxCode]*method
@@ -174,17 +182,17 @@ func New(cfg Config, sm *binder.ServiceManager) (*Service, error) {
 	}
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Meta.Name))
+	mix := int64(h.Sum64())
 	s := &Service{
 		meta:    cfg.Meta,
 		host:    cfg.Host,
 		driver:  cfg.Driver,
 		clock:   cfg.Clock,
 		perms:   cfg.Perms,
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+		rngSeed: cfg.Seed ^ mix,
+		seedMix: mix,
 		methods: make(map[binder.TxCode]*method),
 		codes:   make(map[string]binder.TxCode),
-		entries: make(map[string][]*entry),
-		member:  make(map[string]*entry),
 	}
 	s.quota = cfg.UniversalQuota
 	s.buildMethodTable(cfg.Ifaces)
@@ -219,6 +227,42 @@ func (s *Service) buildMethodTable(ifaces []catalog.Interface) {
 		s.methods[code] = byName[name]
 		s.codes[name] = code
 	}
+}
+
+// rand returns the jitter rng, seeding it on first use. The draw
+// sequence is identical to an eagerly seeded rng, so lazy seeding is
+// invisible to byte-identity.
+func (s *Service) rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.rngSeed))
+	}
+	return s.rng
+}
+
+// CloneInto populates dst as a boot-state clone of s for a snapshot
+// clone of its device: immutable method/code tables are shared, the
+// retained-entry maps start empty (the template is frozen at boot
+// quiescence, before any transaction), and the jitter rng is re-keyed
+// lazily from the clone's device seed. The caller supplies the clone's
+// substrate (host process, driver, clock, perms) and mints the stub's
+// driver node in boot order; no ServiceManager registration runs — the
+// clone's registry resolves names through the shared frozen table.
+func (s *Service) CloneInto(dst *Service, host *kernel.Process, driver *binder.Driver, clock *simclock.Clock, perms *permissions.Manager, seed int64) {
+	*dst = Service{
+		meta:    s.meta,
+		host:    host,
+		driver:  driver,
+		clock:   clock,
+		perms:   perms,
+		rngSeed: seed ^ s.seedMix,
+		seedMix: s.seedMix,
+		methods: s.methods,
+		codes:   s.codes,
+		calls:   s.calls,
+		objSeq:  s.objSeq,
+		quota:   s.quota,
+	}
+	dst.stub = driver.NewLocalBinder(host, s.meta.Class, binder.TransactorFunc(dst.onTransact))
 }
 
 // Name returns the ServiceManager name.
@@ -295,7 +339,7 @@ func (s *Service) onTransact(call *binder.Call) error {
 // the paper's Delay + Δ (Observation 2): a stable floor plus a small
 // bounded deviation.
 func (s *Service) chargeExec(c catalog.CostModel, stored int) (post time.Duration) {
-	jitter := time.Duration(s.rng.Int63n(int64(c.Jitter) + 1))
+	jitter := time.Duration(s.rand().Int63n(int64(c.Jitter) + 1))
 	pre := c.ExecBase/2 + jitter
 	post = c.ExecBase/2 + time.Duration(stored)*c.ExecSlope
 	s.clock.Advance(pre)
@@ -404,6 +448,9 @@ func (s *Service) retain(methodName string, ref *binder.BinderRef, call *binder.
 		return fmt.Errorf("%s.%s: linkToDeath: %w", s.meta.Name, methodName, err)
 	}
 	e.link = link
+	if s.entries == nil {
+		s.entries = make(map[string][]*entry)
+	}
 	s.entries[methodName] = append(s.entries[methodName], e)
 	return nil
 }
@@ -507,6 +554,9 @@ func (s *Service) handleInnocent(m *method, call *binder.Call) error {
 		e := &entry{ref: ref, caller: call.SenderPid, uid: call.SenderUid}
 		if link, err := ref.Binder().LinkToDeath(func() { s.dropMember(key, e) }); err == nil {
 			e.link = link
+		}
+		if s.member == nil {
+			s.member = make(map[string]*entry)
 		}
 		s.member[key] = e
 		return nil

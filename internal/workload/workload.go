@@ -15,6 +15,7 @@ import (
 	"repro/internal/binder"
 	"repro/internal/catalog"
 	"repro/internal/device"
+	"repro/internal/event"
 	"repro/internal/permissions"
 	"repro/internal/services"
 )
@@ -31,52 +32,114 @@ type Actor interface {
 	Done() bool
 }
 
-// Scheduler interleaves actors in virtual-time order.
+// Scheduler is the discrete-event core: actors are events on a
+// deterministic priority queue over virtual time, and every Step
+// schedules the actor's own next firing from its per-class arrival
+// process. Same-instant events fire in actor registration order (the
+// queue's tie-break priority is the registration index), which is
+// exactly the order the old linear min-Due scan produced, so envelopes
+// are byte-identical across the rewrite.
 type Scheduler struct {
 	dev    *device.Device
 	actors []Actor
+	queue  event.Queue[int] // registration indexes, keyed by Due
 }
 
-// NewScheduler creates a scheduler on the device clock.
+// NewScheduler creates a scheduler on the device clock. The scheduler
+// attaches its event queue as a clock horizon source and publishes
+// queue-depth and virtual-time gauges into the device registry.
 func NewScheduler(dev *device.Device) *Scheduler {
-	return &Scheduler{dev: dev}
+	s := &Scheduler{dev: dev}
+	dev.Clock().AttachHorizon(s.queue.Peek)
+	if reg := dev.Metrics(); reg != nil {
+		reg.GaugeFunc("jgre_event_queue_depth",
+			"Events pending in the workload scheduler's virtual-time queue.",
+			func() float64 { return float64(s.queue.Len()) })
+		reg.GaugeFunc("jgre_event_virtual_time_seconds",
+			"Current virtual time of the device clock, in seconds since boot.",
+			func() float64 { return dev.Clock().Now().Seconds() })
+	}
+	return s
 }
 
-// Add registers an actor.
+// Add registers an actor. Same-due ties fire in registration order.
 func (s *Scheduler) Add(a Actor) { s.actors = append(s.actors, a) }
 
-// Run steps actors in Due order until stop returns true, every actor is
-// done, or maxSteps actions have run. It returns the number of steps.
-// Actor errors stop that actor but not the run (an attacker losing its
-// victim is expected).
+// Run drains the event queue in (due, registration order) until stop
+// returns true, every actor is done, or maxSteps actions have run; it
+// returns the number of steps. maxSteps <= 0 means no step limit — the
+// run is bounded only by stop and actor completion. Actor errors stop
+// that actor for the remainder of the run (an attacker losing its victim
+// is expected) but still count as a step, exactly as the pre-event-core
+// scan loop counted them.
 func (s *Scheduler) Run(stop func() bool, maxSteps int) int {
+	clock := s.dev.Clock()
+	// Rebuild the queue from current actor state: Due/Done may have been
+	// driven externally between Run calls, and errored-but-not-Done actors
+	// become eligible again on the next Run (the old loop's dead map was
+	// Run-local too).
+	s.queue = event.Queue[int]{}
+	for i, a := range s.actors {
+		if a.Done() {
+			continue
+		}
+		s.queue.Push(a.Due(), uint64(i), i)
+	}
 	steps := 0
-	dead := make(map[Actor]bool)
-	for steps < maxSteps {
+	for maxSteps <= 0 || steps < maxSteps {
 		if stop != nil && stop() {
 			break
 		}
-		var next Actor
-		for _, a := range s.actors {
-			if dead[a] || a.Done() {
-				continue
-			}
-			if next == nil || a.Due() < next.Due() {
-				next = a
-			}
-		}
-		if next == nil {
+		idx, at, ok := s.queue.Pop()
+		if !ok {
 			break
 		}
-		if due := next.Due(); due > s.dev.Clock().Now() {
-			s.dev.Clock().Set(due)
+		a := s.actors[idx]
+		// Done is re-checked at pop time with the clock still at the
+		// previous event: actors whose Done depends on virtual time (a
+		// StopAfter bound) must see the same clock the old scan showed
+		// them, and a done event must not advance time or count a step.
+		if a.Done() {
+			continue
 		}
-		if err := next.Step(); err != nil {
-			dead[next] = true
-		}
+		clock.AdvanceTo(at)
+		err := a.Step()
 		steps++
+		if err == nil {
+			s.queue.Push(a.Due(), uint64(idx), idx)
+		}
 	}
 	return steps
+}
+
+// arrival is a per-class arrival process: given the current virtual
+// time it yields the time of the actor's next firing. Each actor class
+// owns one and schedules itself with it at the end of every Step, which
+// is what turns the old step-loops into self-scheduling event handlers.
+type arrival interface {
+	next(now time.Duration) time.Duration
+}
+
+// fixedArrival fires at a constant think-time period — the attacker
+// classes, paced from the catalogued AttackSeconds.
+type fixedArrival struct {
+	think time.Duration
+}
+
+func (f fixedArrival) next(now time.Duration) time.Duration { return now + f.think }
+
+// uniformArrival fires after a uniform delay in [0, span) nanoseconds —
+// the benign classes. The draw is a single rng.Int63n(span), sharing the
+// actor's rng, so the rewrite consumes exactly the random sequence the
+// old inline pacing expressions did (a BenignApp's span of interval+1
+// keeps its closed upper bound).
+type uniformArrival struct {
+	rng  *rand.Rand
+	span int64
+}
+
+func (u uniformArrival) next(now time.Duration) time.Duration {
+	return now + time.Duration(u.rng.Int63n(u.span))
 }
 
 // Attacker floods one vulnerable interface from one app, paced so that a
@@ -90,7 +153,7 @@ type Attacker struct {
 	// enqueueToast spoof).
 	pkg    string
 	client *services.Client
-	think  time.Duration
+	pace   arrival
 	due    time.Duration
 	calls  int
 	failed error
@@ -145,7 +208,7 @@ func NewAttacker(dev *device.Device, app *apps.App, ifaceFull string) (*Attacker
 	}
 	return &Attacker{
 		dev: dev, app: app, target: iface, pkg: pkg, client: client,
-		think: ThinkTimeFor(iface), due: dev.Clock().Now(),
+		pace: fixedArrival{think: ThinkTimeFor(iface)}, due: dev.Clock().Now(),
 	}, nil
 }
 
@@ -200,7 +263,7 @@ func (a *Attacker) Step() error {
 		return err
 	}
 	a.calls++
-	a.due = a.dev.Clock().Now() + a.think
+	a.due = a.pace.next(a.dev.Clock().Now())
 	return nil
 }
 
@@ -212,7 +275,7 @@ type AppAttacker struct {
 	method  string
 	ref     *binder.BinderRef
 	code    binder.TxCode
-	think   time.Duration
+	pace    arrival
 	due     time.Duration
 	calls   int
 	failed  error
@@ -244,7 +307,7 @@ func NewAppAttacker(dev *device.Device, app *apps.App, row catalog.AppInterface)
 	}
 	return &AppAttacker{
 		dev: dev, app: app, regName: regName, method: short,
-		ref: ref, code: code, think: think, due: dev.Clock().Now(),
+		ref: ref, code: code, pace: fixedArrival{think: think}, due: dev.Clock().Now(),
 	}, nil
 }
 
@@ -286,7 +349,7 @@ func (a *AppAttacker) Step() error {
 		return err
 	}
 	a.calls++
-	a.due = a.dev.Clock().Now() + a.think
+	a.due = a.pace.next(a.dev.Clock().Now())
 	return nil
 }
 
@@ -300,7 +363,7 @@ type BenignApp struct {
 	rng      *rand.Rand
 	services []string
 	clients  map[string]*services.Client
-	interval time.Duration
+	pace     arrival
 	due      time.Duration
 	calls    int
 	regs     int
@@ -329,12 +392,17 @@ func NewBenignApp(dev *device.Device, app *apps.App, seed int64, interval time.D
 			svcNames = append(svcNames, s)
 		}
 	}
+	// Draw order is load-bearing for byte-identity: the initial due draw
+	// precedes the maxRegs draw, exactly as before the arrival-process
+	// extraction.
+	pace := uniformArrival{rng: rng, span: int64(interval) + 1}
+	due := pace.next(dev.Clock().Now())
 	b := &BenignApp{
 		dev: dev, app: app, rng: rng, services: svcNames,
-		clients:  make(map[string]*services.Client),
-		interval: interval,
-		due:      dev.Clock().Now() + time.Duration(rng.Int63n(int64(interval)+1)),
-		maxRegs:  1 + rng.Intn(3),
+		clients: make(map[string]*services.Client),
+		pace:    pace,
+		due:     due,
+		maxRegs: 1 + rng.Intn(3),
 	}
 	for _, svc := range svcNames {
 		c, err := dev.NewClient(app, svc)
@@ -417,7 +485,7 @@ func (b *BenignApp) Step() error {
 		return err
 	}
 	b.calls++
-	b.due = b.dev.Clock().Now() + time.Duration(b.rng.Int63n(int64(b.interval)+1))
+	b.due = b.pace.next(b.dev.Clock().Now())
 	return nil
 }
 
@@ -443,7 +511,7 @@ type ChattyApp struct {
 	dev    *device.Device
 	app    *apps.App
 	client *services.Client
-	rng    *rand.Rand
+	pace   arrival
 	due    time.Duration
 	calls  int
 	failed error
@@ -455,7 +523,8 @@ func NewChattyApp(dev *device.Device, app *apps.App, seed int64) (*ChattyApp, er
 	if err != nil {
 		return nil, err
 	}
-	return &ChattyApp{dev: dev, app: app, client: c, rng: rand.New(rand.NewSource(seed)), due: dev.Clock().Now()}, nil
+	pace := uniformArrival{rng: rand.New(rand.NewSource(seed)), span: int64(100 * time.Millisecond)}
+	return &ChattyApp{dev: dev, app: app, client: c, pace: pace, due: dev.Clock().Now()}, nil
 }
 
 // App returns the underlying app.
@@ -483,7 +552,7 @@ func (c *ChattyApp) Step() error {
 		}
 	}
 	c.calls++
-	c.due = c.dev.Clock().Now() + time.Duration(c.rng.Int63n(int64(100*time.Millisecond)))
+	c.due = c.pace.next(c.dev.Clock().Now())
 	return nil
 }
 
@@ -520,6 +589,7 @@ type WellBehavedApp struct {
 	dev     *device.Device
 	app     *apps.App
 	rng     *rand.Rand
+	pace    arrival
 	helpers []*services.Helper
 	due     time.Duration
 	actions int
@@ -529,7 +599,12 @@ type WellBehavedApp struct {
 // NewWellBehavedApp opens helpers on every helper-guarded interface the
 // app can obtain permissions for.
 func NewWellBehavedApp(dev *device.Device, app *apps.App, seed int64) (*WellBehavedApp, error) {
-	w := &WellBehavedApp{dev: dev, app: app, rng: rand.New(rand.NewSource(seed)), due: dev.Clock().Now()}
+	rng := rand.New(rand.NewSource(seed))
+	w := &WellBehavedApp{
+		dev: dev, app: app, rng: rng,
+		pace: uniformArrival{rng: rng, span: int64(500 * time.Millisecond)},
+		due:  dev.Clock().Now(),
+	}
 	clients := make(map[string]*services.Client)
 	for _, row := range catalog.Interfaces() {
 		if row.Protection != catalog.HelperGuard {
@@ -596,6 +671,6 @@ func (w *WellBehavedApp) Step() error {
 		return err
 	}
 	w.actions++
-	w.due = w.dev.Clock().Now() + time.Duration(w.rng.Int63n(int64(500*time.Millisecond)))
+	w.due = w.pace.next(w.dev.Clock().Now())
 	return nil
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -146,6 +147,68 @@ func TestSchedulerOrdersActors(t *testing.T) {
 	if c.Calls() != 50 {
 		t.Fatalf("calls = %d, want 50", c.Calls())
 	}
+}
+
+func TestSchedulerUnlimitedSteps(t *testing.T) {
+	dev := bootDev(t, device.Config{Seed: 3})
+	sched := NewScheduler(dev)
+	app, _ := dev.Apps().Install("com.chatty.app")
+	c, err := NewChattyApp(dev, app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Add(c)
+	// maxSteps <= 0 means "no step limit": the run is bounded only by the
+	// stop condition (and actor completion), not silently zero steps.
+	for _, maxSteps := range []int{0, -1} {
+		start := c.Calls()
+		steps := sched.Run(func() bool { return c.Calls() >= start+25 }, maxSteps)
+		if steps != 25 {
+			t.Fatalf("Run(stop, %d) = %d steps, want 25", maxSteps, steps)
+		}
+	}
+}
+
+func TestSchedulerEventOrderDeterministic(t *testing.T) {
+	// Two schedulers over identically-seeded devices must interleave the
+	// same actor sequence: the event queue's (due, registration, seq)
+	// ordering is a total order, so the run replays exactly.
+	trace := func() []int {
+		dev := bootDev(t, device.Config{Seed: 11})
+		sched := NewScheduler(dev)
+		var order []int
+		for i := 0; i < 3; i++ {
+			app, _ := dev.Apps().Install(fmt.Sprintf("com.trace.app%d", i))
+			c, err := NewChattyApp(dev, app, int64(20+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := i
+			sched.Add(actorFunc{c, func() { order = append(order, i) }})
+		}
+		sched.Run(nil, 300)
+		return order
+	}
+	a, b := trace(), trace()
+	if len(a) != 300 || len(b) != 300 {
+		t.Fatalf("trace lengths %d, %d, want 300", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// actorFunc wraps an Actor, observing every Step.
+type actorFunc struct {
+	Actor
+	observe func()
+}
+
+func (a actorFunc) Step() error {
+	a.observe()
+	return a.Actor.Step()
 }
 
 func TestAppAttackerAgainstPrebuilt(t *testing.T) {
