@@ -23,18 +23,21 @@ vet:
 # queue and the device snapshot/clone layer every concurrent shard now
 # boots through.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device ./internal/chaos
 
 # Coverage-guided fuzzing smoke: the kernel log-record parser (the one
 # spot where the defender consumes a wire format), the differential pin
 # of the streaming correlator against the retained segment-tree
-# reference implementation, and the event queue's ordering invariant
+# reference implementation, the event queue's ordering invariant
 # (virtual time, then priority, then sequence) under arbitrary
-# push/pop interleavings.
+# push/pop interleavings, and the defender checkpoint codec (decode
+# never panics on arbitrary bytes; any accepted input re-encodes
+# byte-identically).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseIPCRecord -fuzztime=10s -run '^$$' ./internal/binder
 	$(GO) test -fuzz=FuzzCorrelatorDifferential -fuzztime=5s -run '^$$' ./internal/defense
 	$(GO) test -fuzz=FuzzEventQueue -fuzztime=5s -run '^$$' ./internal/event
+	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=5s -run '^$$' ./internal/defense
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
@@ -73,14 +76,21 @@ bench-smoke:
 			printf "bench-smoke: device clone %.1fx faster than boot\n", ratio }' \
 		/tmp/jgre-clone-smoke.out
 
-# Coverage floor for the telemetry registry: the zero-alloc counters and
-# the Prometheus renderer are pure library code every layer leans on, so
-# they stay at >= 85% statement coverage.
+# Coverage floors. The telemetry registry's zero-alloc counters and
+# Prometheus renderer are pure library code every layer leans on, so
+# they stay at >= 85% statement coverage. The chaos engine and
+# supervisor gate every recovery claim the chaos-* scenarios make, so
+# their fault-schedule and backoff paths stay at >= 75%.
 cover:
 	$(GO) test -cover -coverprofile=/tmp/jgre-telemetry.cover ./internal/telemetry
 	@total=$$($(GO) tool cover -func=/tmp/jgre-telemetry.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 		echo "internal/telemetry coverage: $$total%"; \
 		awk -v t="$$total" 'BEGIN { exit (t >= 85.0) ? 0 : 1 }' \
 		|| { echo "cover: internal/telemetry coverage $$total% below 85% floor"; exit 1; }
+	$(GO) test -cover -coverprofile=/tmp/jgre-chaos.cover ./internal/chaos
+	@total=$$($(GO) tool cover -func=/tmp/jgre-chaos.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/chaos coverage: $$total%"; \
+		awk -v t="$$total" 'BEGIN { exit (t >= 75.0) ? 0 : 1 }' \
+		|| { echo "cover: internal/chaos coverage $$total% below 75% floor"; exit 1; }
 
 ci: vet build test race fuzz-smoke bench-smoke cover

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	jgre-top [-scenario idle|benign|attack|defended] [-tick 1s] [-duration 2m] [-width 60]
+// The chaos scenario adds the lifecycle fault layer — supervised service
+// crashes, a defender that is killed and restored from its checkpoint,
+// and a mid-run soft reboot — and renders a RECOVERY panel with the
+// chaos/supervisor/checkpoint counters.
+//
+//	jgre-top [-scenario idle|benign|attack|defended|chaos] [-tick 1s] [-duration 2m] [-width 60]
 package main
 
 import (
@@ -16,9 +21,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/defense"
 	"repro/internal/device"
 	"repro/internal/metrics/ascii"
+	"repro/internal/services"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -29,7 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jgre-top: ")
 
-	scenarioF := flag.String("scenario", "attack", "idle | benign | attack | defended")
+	scenarioF := flag.String("scenario", "attack", "idle | benign | attack | defended | chaos")
 	tick := flag.Duration("tick", time.Second, "virtual sampling interval")
 	duration := flag.Duration("duration", 2*time.Minute, "virtual time to simulate")
 	width := flag.Int("width", 60, "sparkline width in cells")
@@ -40,8 +47,17 @@ func main() {
 		log.Fatal(err)
 	}
 	var def *defense.Defender
-	if *scenarioF == "defended" {
+	var bouncer *defense.Bouncer
+	switch *scenarioF {
+	case "defended":
 		if def, err = defense.New(dev, defense.Config{}); err != nil {
+			log.Fatal(err)
+		}
+	case "chaos":
+		// Clients retry dead handles so the workload survives the churn the
+		// chaos engine is about to inject.
+		dev.SetClientRetry(services.RetryPolicy{Deadline: 3 * time.Second, Backoff: 50 * time.Millisecond})
+		if bouncer, err = defense.NewBouncer(dev, defense.Config{}, defense.BounceSync); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -65,13 +81,14 @@ func main() {
 			sample()
 			dev.Clock().Advance(*tick)
 		}
-	case "benign", "attack", "defended":
+	case "benign", "attack", "defended", "chaos":
 		sched := workload.NewScheduler(dev)
 		pop := 15
 		if *scenarioF != "benign" {
 			pop = 10
 		}
-		if _, err := workload.Population(dev, sched, pop, 4, time.Second); err != nil {
+		benign, err := workload.Population(dev, sched, pop, 4, time.Second)
+		if err != nil {
 			log.Fatal(err)
 		}
 		if *scenarioF != "benign" {
@@ -84,6 +101,22 @@ func main() {
 				log.Fatal(err)
 			}
 			sched.Add(atk)
+			if *scenarioF == "chaos" {
+				atk.SetAutoRestart(true)
+				for _, b := range benign {
+					b.SetAutoRestart(true)
+				}
+				chaos.New(dev, sched, chaos.Config{
+					Seed:              7,
+					CrashEvery:        10 * time.Second,
+					CrashApps:         true,
+					CrashAppServices:  true,
+					RebootAt:          90 * time.Second,
+					DefenderKillEvery: 45 * time.Second,
+					DefenderDowntime:  2 * time.Second,
+				}, bouncer)
+				chaos.NewSupervisor(dev, sched, chaos.SupervisorConfig{})
+			}
 		}
 		sched.Run(func() bool {
 			sample()
@@ -95,6 +128,10 @@ func main() {
 	}
 	sample()
 
+	if bouncer != nil {
+		// Render whatever incarnation survived the chaos run.
+		def = bouncer.Defender()
+	}
 	render(os.Stdout, dev, def, sampler, *scenarioF, *width)
 }
 
@@ -125,14 +162,32 @@ func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *tele
 		fmt.Fprint(w, ascii.HistogramBars(h.Bounds(), h.BucketCounts(), 40))
 	}
 
-	if def == nil {
-		return
-	}
-	fmt.Fprintf(w, "\nDEFENDER  engagements=%d\n", len(def.History()))
 	counter := func(name string) float64 {
 		v, _ := dev.Metrics().Value(name)
 		return v
 	}
+	// RECOVERY panel: present only when a chaos engine registered its
+	// counters on this device.
+	if _, ok := dev.Metrics().Value("jgre_chaos_crashes_total"); ok {
+		fmt.Fprintf(w, "\nRECOVERY  crashes=%.0f  reboots=%.0f  defender kills=%.0f restores=%.0f\n",
+			counter("jgre_chaos_crashes_total"),
+			counter("jgre_chaos_reboots_total"),
+			counter("jgre_chaos_defender_kills_total"),
+			counter("jgre_chaos_defender_restores_total"))
+		fmt.Fprintf(w, "supervisor  restarts %.0f  failures %.0f  pending %.0f  backoff %.2fs\n",
+			counter("jgre_supervisor_restarts_total"),
+			counter("jgre_supervisor_failures_total"),
+			counter("jgre_supervisor_pending"),
+			counter("jgre_supervisor_backoff_seconds"))
+		fmt.Fprintf(w, "checkpoints written %.0f  restored %.0f\n",
+			counter("jgre_defender_checkpoints_total"),
+			counter("jgre_defender_restores_total"))
+	}
+
+	if def == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nDEFENDER  engagements=%d\n", len(def.History()))
 	fmt.Fprintf(w, "correlator  types scored %.0f  no-overlap %.0f  tight-span %.0f  pairs swept %.0f\n",
 		counter("jgre_defender_correlator_types_scored_total"),
 		counter("jgre_defender_correlator_types_skipped_total"),
@@ -156,13 +211,16 @@ func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *tele
 	}
 }
 
-// spark prints one labelled sparkline row with its current value.
+// spark prints one labelled sparkline row with its current value. An
+// empty series — a clone whose lazy telemetry had not materialized when
+// sampling started, or a metric the scenario never drives — renders as
+// an explicit placeholder rather than a blank (or panicking) row.
 func spark(w *os.File, label string, values []float64, width int) {
-	cur := ""
-	if n := len(values); n > 0 {
-		cur = fmt.Sprintf("  now %g", values[n-1])
+	if len(values) == 0 {
+		fmt.Fprintf(w, "%-10s (no samples)\n", label)
+		return
 	}
-	fmt.Fprintf(w, "%-10s %s%s\n", label, ascii.Sparkline(values, width), cur)
+	fmt.Fprintf(w, "%-10s %s  now %g\n", label, ascii.Sparkline(values, width), values[len(values)-1])
 }
 
 // histogram fetches an existing histogram handle from the device

@@ -50,6 +50,17 @@ func (a *App) Proc() *kernel.Process {
 // Running reports whether the app has a live process.
 func (a *App) Running() bool { return a.Proc() != nil }
 
+// LastExitReason returns the kill reason of the app's most recent dead
+// process ("" while running or never started). Restart-aware workload
+// actors use it to distinguish lifecycle-chaos deaths, which they
+// recover from, from LMK or defender kills, which they do not.
+func (a *App) LastExitReason() string {
+	if a.proc == nil || a.proc.Alive() {
+		return ""
+	}
+	return a.proc.ExitReason()
+}
+
 // Start (re)launches the app's process if needed and returns it. Apps are
 // restartable after LMK kills, defender force-stops, or soft reboots.
 func (a *App) Start() *kernel.Process {

@@ -1,0 +1,321 @@
+package defense
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// sampleCheckpoint builds a fully-populated checkpoint for codec tests.
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:            CheckpointVersion,
+		TakenAt:            1234 * time.Millisecond,
+		WindowSeq:          900,
+		WindowLogged:       850,
+		WindowDroppedRate:  30,
+		WindowDroppedRing:  20,
+		WindowReadErrors:   2,
+		LastDelta:          1800 * time.Microsecond,
+		InnocentKillBudget: 2,
+		CorrRounds:         3,
+		Detections:         1,
+		ReadRetries:        4,
+		AnalysisRestarts:   1,
+		GuardStops:         2,
+		LastCoverage:       0.875,
+		LastFallback:       true,
+		Monitors: []MonitorCheckpoint{
+			{Name: "system_server", Pid: 1, Baseline: 1500, Recording: true,
+				AddTimes: []time.Duration{time.Second, time.Second + time.Millisecond}},
+			{Name: "com.android.bt.host", Pid: 41, Baseline: 20, Engaged: true},
+			{Name: "empty", Pid: 99},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := sampleCheckpoint()
+	enc := cp.Encode()
+	dec, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, dec) {
+		t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", cp, dec)
+	}
+	if re := dec.Encode(); !bytes.Equal(enc, re) {
+		t.Fatalf("re-encoding is not canonical: %d vs %d bytes", len(enc), len(re))
+	}
+	// Encode sorts a copy: unsorted monitors on the struct still produce
+	// the canonical stream and do not mutate the receiver.
+	swapped := sampleCheckpoint()
+	swapped.Monitors[0], swapped.Monitors[2] = swapped.Monitors[2], swapped.Monitors[0]
+	if !bytes.Equal(swapped.Encode(), enc) {
+		t.Fatal("monitor order changed the encoding")
+	}
+	if swapped.Monitors[0].Pid != 99 {
+		t.Fatal("Encode mutated the receiver's monitor order")
+	}
+}
+
+func TestDecodeCheckpointRejectsCorrupt(t *testing.T) {
+	valid := sampleCheckpoint().Encode()
+	mutate := func(fn func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return fn(b)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version": mutate(func(b []byte) []byte {
+			b[4] = 0xEE
+			return b
+		}),
+		"truncated":      valid[:len(valid)-3],
+		"trailing bytes": mutate(func(b []byte) []byte { return append(b, 0) }),
+		"boolean 2": mutate(func(b []byte) []byte {
+			// LastFallback byte sits right after the fixed header.
+			b[4+4+8*13+8] = 2
+			return b
+		}),
+		"monitor count overflow": mutate(func(b []byte) []byte {
+			// Claim 2^31 monitors with no bytes to back them.
+			off := 4 + 4 + 8*13 + 8 + 1
+			b[off], b[off+1], b[off+2], b[off+3] = 0, 0, 0, 0x80
+			return b[:off+4]
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeCheckpoint(data); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCheckpointCorrupt", name, err)
+		}
+	}
+
+	// Unsorted monitors are non-canonical even when structurally valid.
+	unsorted := sampleCheckpoint()
+	unsorted.Monitors = []MonitorCheckpoint{{Name: "b", Pid: 9}, {Name: "a", Pid: 3}}
+	raw := unsorted.Encode() // Encode sorts, so corrupt the order by hand
+	dec, err := DecodeCheckpoint(raw)
+	if err != nil || dec.Monitors[0].Pid != 3 {
+		t.Fatalf("setup: %v %+v", err, dec)
+	}
+	dup := sampleCheckpoint()
+	dup.Monitors = []MonitorCheckpoint{{Name: "a", Pid: 3}, {Name: "b", Pid: 3}}
+	if _, err := DecodeCheckpoint(dup.Encode()); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("duplicate pids: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// FuzzCheckpointRoundTrip asserts the codec's two safety properties on
+// arbitrary bytes: DecodeCheckpoint never panics, and any input it
+// accepts is canonical — decode(encode(decode(x))) == decode(x) and the
+// re-encoding is byte-identical to the input.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(sampleCheckpoint().Encode())
+	f.Add((&Checkpoint{Version: CheckpointVersion}).Encode())
+	f.Add([]byte("JGRC garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		re := cp.Encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical:\n in: %x\nout: %x", data, re)
+		}
+		cp2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(cp, cp2) {
+			t.Fatal("re-decode diverged")
+		}
+	})
+}
+
+// ckptRun drives one attack engagement (population 10, audio attacker,
+// innocent-kill guard) on a freshly booted device, optionally bouncing
+// the defender through Checkpoint → Kill → Restore mid-attack. It
+// returns the engagement and the defender incarnation that produced it.
+func ckptRun(t *testing.T, bounceAtCalls int) (Detection, *Checkpoint) {
+	t.Helper()
+	dev, err := device.Boot(device.Config{Seed: 4242})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.InnocentKillBudget = DefaultInnocentKillBudget
+	def, err := New(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := workload.NewScheduler(dev)
+	if _, err := workload.Population(dev, sched, 10, 2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Add(atk)
+	var bounceCp *Checkpoint
+	bounced := false
+	sched.Run(func() bool {
+		if bounceAtCalls > 0 && !bounced && atk.Calls() >= bounceAtCalls {
+			bounced = true
+			bounceCp = def.Checkpoint()
+			def.Kill()
+			if def, err = Restore(dev, cfg, bounceCp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return len(def.History()) > 0
+	}, 400000)
+	hist := def.History()
+	if len(hist) == 0 {
+		t.Fatal("defender never engaged")
+	}
+	if bounceAtCalls > 0 && !bounced {
+		t.Fatal("bounce point never reached")
+	}
+	return hist[0], bounceCp
+}
+
+// TestDefenderCheckpointEquivalence is the crash-safety acceptance
+// check: a defender killed mid-attack and restored from its checkpoint
+// must reach the same verdict — identical kill set, engagement time and
+// ranking — as an uninterrupted defender on the same registry-scenario
+// workload (the population-plus-audio-attacker trial the robustness
+// sweeps run). Checkpoint() is read-only and Restore replays the exact
+// monitor state, so the bounce must be invisible to the simulation.
+func TestDefenderCheckpointEquivalence(t *testing.T) {
+	control, _ := ckptRun(t, 0)
+	// 400 calls ≈ 800 new refs: past the alarm (recording, evidence
+	// accumulating), before the engagement at 1200.
+	bounced, cp := ckptRun(t, 400)
+
+	if cp == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	// The snapshot must carry real mid-window evidence or the test
+	// degenerates to a cold-restart comparison.
+	var recording int
+	for _, m := range cp.Monitors {
+		if m.Recording && len(m.AddTimes) > 0 {
+			recording++
+		}
+	}
+	if recording == 0 {
+		t.Fatalf("checkpoint has no recording monitor with evidence: %+v", cp.Monitors)
+	}
+
+	if !reflect.DeepEqual(control.Killed, bounced.Killed) {
+		t.Errorf("kill sets diverged:\n control: %v\n bounced: %v", control.Killed, bounced.Killed)
+	}
+	if control.EngagedAt != bounced.EngagedAt {
+		t.Errorf("EngagedAt diverged: control %v, bounced %v", control.EngagedAt, bounced.EngagedAt)
+	}
+	if control.AnalysisTime != bounced.AnalysisTime {
+		t.Errorf("AnalysisTime diverged: control %v, bounced %v", control.AnalysisTime, bounced.AnalysisTime)
+	}
+	if !reflect.DeepEqual(control.Scores, bounced.Scores) {
+		t.Errorf("rankings diverged:\n control: %+v\n bounced: %+v", control.Scores, bounced.Scores)
+	}
+}
+
+// TestDefenderAbortStopsRetries pins the cancellation path through the
+// evidence-read retry loop: with a persistent read fault, an aborted
+// defender gives up after the first failed read instead of burning
+// virtual time in backoff, while a non-aborted one retries the full
+// budget.
+func TestDefenderAbortStopsRetries(t *testing.T) {
+	run := func(abort bool) Detection {
+		dev, err := device.Boot(device.Config{
+			Seed:   9,
+			Faults: faults.Config{ReadFailEvery: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		def, err := New(dev, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if abort {
+			def.SetAbort(func() bool { return true })
+		}
+		sched := workload.NewScheduler(dev)
+		evil, err := dev.Apps().Install("com.evil.app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.Add(atk)
+		sched.Run(func() bool { return len(def.History()) > 0 }, 400000)
+		hist := def.History()
+		if len(hist) == 0 {
+			t.Fatal("defender never engaged")
+		}
+		return hist[0]
+	}
+	patient := run(false)
+	if !patient.ReadFailed || patient.ReadRetries == 0 {
+		t.Fatalf("patient run: ReadFailed=%v ReadRetries=%d, want failed after retries",
+			patient.ReadFailed, patient.ReadRetries)
+	}
+	aborted := run(true)
+	if !aborted.ReadFailed || aborted.ReadRetries != 0 {
+		t.Fatalf("aborted run: ReadFailed=%v ReadRetries=%d, want immediate give-up",
+			aborted.ReadFailed, aborted.ReadRetries)
+	}
+}
+
+// TestDefenderKillInert: a killed defender's stale VM hooks must not
+// record, charge virtual time, or engage.
+func TestDefenderKillInert(t *testing.T) {
+	dev, err := device.Boot(device.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := New(dev, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def.Kill()
+	if !def.Dead() {
+		t.Fatal("Dead() = false after Kill")
+	}
+	def.Kill() // idempotent
+	sched := workload.NewScheduler(dev)
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Add(atk)
+	sched.Run(func() bool { return atk.Calls() >= 2000 }, 400000)
+	if n := len(def.History()); n != 0 {
+		t.Fatalf("dead defender engaged %d times", n)
+	}
+	if cp := def.Checkpoint(); len(cp.Monitors) != 0 {
+		t.Fatalf("dead defender still holds %d monitors", len(cp.Monitors))
+	}
+}

@@ -227,6 +227,25 @@ type Defender struct {
 	met defenderMetrics
 	// OnDetection, if set, observes each engagement after recovery.
 	OnDetection func(Detection)
+	// OnCheckpoint, if set, observes the poll-window-boundary checkpoint
+	// written at the end of each engagement — the crash-safe state a
+	// restarted defender resumes from (see Restore).
+	OnCheckpoint func(*Checkpoint)
+
+	// dead marks a killed defender (see Kill): VM hooks cannot be
+	// removed, so the stale monitors' onJGR callbacks go inert through
+	// this flag instead.
+	dead bool
+	// abort, if set, is polled during long defender waits (evidence-read
+	// retry backoff) so a cancelled scenario context stops the poll loop
+	// promptly instead of burning the full retry schedule.
+	abort func() bool
+	// lastDelta is the effective Δ of the most recent engagement — the
+	// adaptive-Δ state carried across defender restarts.
+	lastDelta time.Duration
+	// restored carries the health counters of a pre-crash incarnation so
+	// cumulative telemetry survives a defender bounce.
+	restored device.DefenderHealth
 }
 
 // defenderMetrics are the defense layer's instruments: engagement
@@ -249,6 +268,9 @@ type defenderMetrics struct {
 	corrTypesSkipped *telemetry.Counter
 	corrShortcuts    *telemetry.Counter
 	corrPairsSwept   *telemetry.Counter
+
+	checkpoints *telemetry.Counter
+	restores    *telemetry.Counter
 
 	phaseRead      *telemetry.Histogram
 	phaseCorrelate *telemetry.Histogram
@@ -284,6 +306,10 @@ func newDefenderMetrics(reg *telemetry.Registry) defenderMetrics {
 			"Interface types resolved by the tight-span bound without a bucket sweep."),
 		corrPairsSwept: reg.Counter("jgre_defender_correlator_bucket_pairs_total",
 			"(call, JGR-add) pairs enumerated into the difference-array sweep."),
+		checkpoints: reg.Counter("jgre_defender_checkpoints_total",
+			"Poll-window-boundary checkpoints written."),
+		restores: reg.Counter("jgre_defender_restores_total",
+			"Defender restarts that resumed from a checkpoint."),
 		coverage: reg.Gauge("jgre_defender_coverage",
 			"Delivered/generated record fraction of the latest engagement window."),
 		phaseRead:      phase("read"),
@@ -332,13 +358,25 @@ func New(dev *device.Device, cfg Config) (*Defender, error) {
 	dev.SetDefenderHealth(d.health)
 	d.attachAll()
 	dev.OnReboot(func(string) { d.attachAll() })
+	dev.OnServiceRestart(func(string, string) { d.attachAll() })
 	return d, nil
 }
 
+// SetAbort installs a cancellation probe polled during long waits
+// (evidence-read retry backoff): once it returns true the defender
+// stops retrying and degrades to fallback attribution immediately,
+// which is what lets a cancelled jgre-run shard abort mid-backoff.
+func (d *Defender) SetAbort(fn func() bool) { d.abort = fn }
+
+func (d *Defender) aborted() bool { return d.abort != nil && d.abort() }
+
 // health is the device.Stats provider: cumulative degradation counters
-// plus the most recent engagement's coverage/fallback verdict.
+// plus the most recent engagement's coverage/fallback verdict. The
+// restored base carries a pre-crash incarnation's counters across a
+// defender bounce.
 func (d *Defender) health() device.DefenderHealth {
-	h := device.DefenderHealth{Detections: len(d.history)}
+	h := d.restored
+	h.Detections += len(d.history)
 	for _, det := range d.history {
 		h.ReadRetries += det.ReadRetries
 		h.AnalysisRestarts += det.AnalysisRestarts
@@ -354,6 +392,9 @@ func (d *Defender) health() device.DefenderHealth {
 // attachAll monitors system_server, the dedicated service hosts and the
 // app-service owner processes.
 func (d *Defender) attachAll() {
+	if d.dead {
+		return
+	}
 	d.Monitor(d.dev.SystemServer())
 	for _, name := range d.dev.AppServices().Names() {
 		if svc := d.dev.AppService(name); svc != nil {
@@ -367,7 +408,7 @@ func (d *Defender) attachAll() {
 // Monitor attaches the runtime extension to a process. Idempotent per
 // process instance.
 func (d *Defender) Monitor(proc *kernel.Process) {
-	if proc == nil || !proc.Alive() {
+	if d.dead || proc == nil || !proc.Alive() {
 		return
 	}
 	if _, ok := d.monitors[proc.Pid()]; ok {
@@ -392,9 +433,19 @@ func (d *Defender) History() []Detection {
 	return out
 }
 
-// onJGR is the runtime-extension hook.
+// checkpointBoundary is how many recorded events accumulate between
+// intra-window checkpoint flushes. Counting events (not virtual time)
+// keeps the boundary deterministic and free when no OnCheckpoint
+// observer is installed.
+const checkpointBoundary = 64
+
+// onJGR is the runtime-extension hook. The dead check comes before
+// everything — including the recordCost clock advance — because VM
+// hooks cannot be unregistered: a killed defender's stale hooks must be
+// completely inert or they would double-charge virtual time next to the
+// restored incarnation's live hooks.
 func (m *monitor) onJGR(ev art.JGREvent) {
-	if !m.proc.Alive() {
+	if m.d.dead || !m.proc.Alive() {
 		return
 	}
 	net := ev.Count - m.baseline
@@ -412,6 +463,14 @@ func (m *monitor) onJGR(ev art.JGREvent) {
 		// §V-D2: recording costs ≈1 µs per operation past the alarm.
 		m.d.dev.Clock().Advance(recordCost)
 		m.addTimes = append(m.addTimes, ev.Time)
+		// Poll-window boundary inside a recording window: every
+		// checkpointBoundary events the accumulated evidence is flushed, so
+		// a warm-restored defender resumes mid-window instead of
+		// re-baselining at the attack-inflated count.
+		if m.d.OnCheckpoint != nil && len(m.addTimes)%checkpointBoundary == 0 {
+			m.d.met.checkpoints.Inc()
+			m.d.OnCheckpoint(m.d.Checkpoint())
+		}
 	}
 	if m.recording && !m.engaged && !m.responding && net > cfg.EngageThreshold {
 		m.engaged = true
@@ -541,6 +600,7 @@ func (m *monitor) respond() {
 	}
 	_ = d.dev.Driver().TruncateLog()
 	d.lastStats = d.dev.Driver().LogStats()
+	d.lastDelta = det.EffectiveDelta
 	d.history = append(d.history, det)
 
 	end := d.dev.Clock().Now()
@@ -573,6 +633,13 @@ func (m *monitor) respond() {
 	if d.OnDetection != nil {
 		d.OnDetection(det)
 	}
+	// Poll-window boundary: the engagement is fully accounted (window
+	// delimiter captured, history appended), so this is the consistent
+	// cut a restarted defender can resume from.
+	if d.OnCheckpoint != nil {
+		d.met.checkpoints.Inc()
+		d.OnCheckpoint(d.Checkpoint())
+	}
 }
 
 // readWindowWithRetry reads the victim's evidence window into d.evid,
@@ -584,7 +651,7 @@ func (d *Defender) readWindowWithRetry(det *Detection, victim kernel.Pid) error 
 		if err == nil {
 			return nil
 		}
-		if attempt >= d.cfg.LogReadRetries {
+		if attempt >= d.cfg.LogReadRetries || d.aborted() {
 			return err
 		}
 		det.ReadRetries++

@@ -7,6 +7,7 @@ package device
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/apps"
@@ -133,9 +134,18 @@ type Device struct {
 	onReboot     []func(reason string)
 	journal      *trace.Journal
 
+	// onServiceRestart observers fire after RestartHost/RestartAppService
+	// completes a re-registration; clientRetry, when non-zero, is applied
+	// to every client NewClient opens (the chaos sweeps set it so benign
+	// actors ride out service restarts).
+	onServiceRestart []func(kind, name string)
+	clientRetry      services.RetryPolicy
+
 	// metrics is the device's telemetry registry, rendered on demand
-	// through /proc/jgre_metrics; defenderHealth is the defense layer's
-	// health provider (nil until a defender attaches).
+	// through /proc/jgre_metrics; metricsMu guards its lazy
+	// materialization on clones (see Metrics); defenderHealth is the
+	// defense layer's health provider (nil until a defender attaches).
+	metricsMu      sync.Mutex
 	metrics        *telemetry.Registry
 	defenderHealth func() DefenderHealth
 }
@@ -510,9 +520,153 @@ func (d *Device) SoftReboots() int { return d.bootCount }
 // OnReboot registers fn to run after each completed soft-reboot recovery.
 func (d *Device) OnReboot(fn func(reason string)) { d.onReboot = append(d.onReboot, fn) }
 
-// NewClient opens a raw binder client on a system service for app.
+// NewClient opens a raw binder client on a system service for app,
+// pre-configured with the device's client retry policy when one is set.
 func (d *Device) NewClient(a *apps.App, serviceName string) (*services.Client, error) {
-	return services.NewClient(d.sm, d.driver, a.Start(), a.Package(), serviceName)
+	c, err := services.NewClient(d.sm, d.driver, a.Start(), a.Package(), serviceName)
+	if err != nil {
+		return nil, err
+	}
+	if d.clientRetry != (services.RetryPolicy{}) {
+		c.SetRetry(d.clientRetry)
+	}
+	return c, nil
+}
+
+// SetClientRetry installs a dead-handle retry policy applied to every
+// client subsequently opened through NewClient. The zero value restores
+// the fail-fast default.
+func (d *Device) SetClientRetry(p services.RetryPolicy) { d.clientRetry = p }
+
+// HostNames returns the dedicated service host processes (sorted,
+// excluding system_server) — the supervisor's restart targets.
+func (d *Device) HostNames() []string {
+	out := make([]string, 0, len(d.hosts))
+	for name := range d.hosts {
+		if name == kernel.SystemServerName {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Host returns a service host process by name (nil if unknown).
+func (d *Device) Host(name string) *kernel.Process { return d.hosts[name] }
+
+// OnServiceRestart registers fn to run after each completed service
+// re-registration (kind is "host" or "app", name the host process or
+// app-service registry name). The defense layer uses it to re-attach
+// JGR monitors to replacement host processes.
+func (d *Device) OnServiceRestart(fn func(kind, name string)) {
+	d.onServiceRestart = append(d.onServiceRestart, fn)
+}
+
+func (d *Device) fireServiceRestart(kind, name string) {
+	for _, fn := range d.onServiceRestart {
+		fn(kind, name)
+	}
+}
+
+// RestartHost revives a crashed dedicated host process and re-registers
+// every census service it carries — the supervisor's recovery action,
+// modelling init respawning a persistent service. system_server is not
+// restartable this way (that path is the soft reboot); a host that is
+// still alive is a no-op. Old handle-index entries are retained so IPC
+// records from before the crash still resolve to the dead incarnation.
+func (d *Device) RestartHost(name string) error {
+	if name == kernel.SystemServerName {
+		return fmt.Errorf("device: %s restarts via soft reboot, not RestartHost", name)
+	}
+	host, ok := d.hosts[name]
+	if !ok {
+		return fmt.Errorf("device: unknown host %s", name)
+	}
+	if host.Alive() {
+		return nil
+	}
+	host = d.kern.Spawn(kernel.SpawnConfig{
+		Name:        name,
+		Uid:         kernel.SystemUid,
+		OomScoreAdj: kernel.PersistentProcAdj,
+		MemoryKB:    30 * 1024,
+	})
+	d.hosts[name] = host
+	for _, meta := range catalog.Services() {
+		if meta.HostProcess() != name {
+			continue
+		}
+		bootRefs := 0
+		if !d.cfg.SkipBaselineRefs {
+			bootRefs = int(8 + spreadByte(meta.Name)%13)
+		}
+		d.sm.RemoveService(meta.Name)
+		svc, err := services.New(services.Config{
+			Meta:           meta,
+			Ifaces:         catalog.InterfacesForService(meta.Name),
+			Host:           host,
+			Driver:         d.driver,
+			Clock:          d.clock,
+			Perms:          d.perms,
+			Seed:           d.cfg.Seed,
+			UniversalQuota: d.cfg.UniversalQuota,
+			ExtraBootRefs:  bootRefs,
+		}, d.sm)
+		if err != nil {
+			return fmt.Errorf("device: restarting %s on %s: %w", meta.Name, name, err)
+		}
+		d.services[meta.Name] = svc
+		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: meta.Name}
+	}
+	d.invalidateResolve()
+	d.journal.Add(d.clock.Now(), trace.KindNote, name, "supervisor restart")
+	d.fireServiceRestart("host", name)
+	return nil
+}
+
+// RestartAppService revives a crashed app service: the owning app is
+// relaunched and the stub re-published under the same registry name. A
+// still-alive stub is a no-op.
+func (d *Device) RestartAppService(name string) error {
+	old, ok := d.appServices[name]
+	if !ok {
+		return fmt.Errorf("device: unknown app service %s", name)
+	}
+	if old.Stub().IsAlive() {
+		return nil
+	}
+	var rows []catalog.AppInterface
+	for _, row := range catalog.PrebuiltAppInterfaces() {
+		if apps.AppServiceName(row) == name {
+			rows = append(rows, row)
+		}
+	}
+	if d.cfg.InstallThirdPartyApps {
+		for _, row := range catalog.ThirdPartyAppInterfaces() {
+			if apps.AppServiceName(row) == name {
+				rows = append(rows, row)
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("device: no catalog rows for app service %s", name)
+	}
+	owner := d.apps.ByPackage(rows[0].Package)
+	if owner == nil {
+		return fmt.Errorf("device: app %s not installed", rows[0].Package)
+	}
+	d.appReg.Unpublish(name)
+	svc, err := apps.NewAppService(owner, d.driver, d.clock, d.appReg, rows, d.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("device: republishing %s: %w", name, err)
+	}
+	d.appServices[name] = svc
+	d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "app", app: svc, name: name}
+	d.invalidateResolve()
+	d.journal.Add(d.clock.Now(), trace.KindNote, name, "supervisor restart")
+	d.fireServiceRestart("app", name)
+	return nil
 }
 
 // Resolve attributes a logged IPC record to its target interface. The

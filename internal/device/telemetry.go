@@ -43,10 +43,19 @@ type DefenderHealth struct {
 // that never scrape metrics skip the ~130 registrations entirely.
 // Envelopes and Stats never read through here, so deferral cannot
 // change simulation output.
+//
+// The first materialization is guarded by metricsMu: a dashboard
+// scraping /proc/jgre_metrics can race the simulation goroutine's first
+// Metrics() call on a clone, and both must observe one fully-registered
+// registry rather than a half-built one. The registry's own operations
+// are already goroutine-safe; only this lazy init needed the lock.
 func (d *Device) Metrics() *telemetry.Registry {
+	d.metricsMu.Lock()
+	defer d.metricsMu.Unlock()
 	if d.metrics == nil {
-		d.metrics = telemetry.NewRegistry()
-		d.driver.AttachMetrics(d.metrics)
+		reg := telemetry.NewRegistry()
+		d.driver.AttachMetrics(reg)
+		d.metrics = reg
 		d.registerMetrics()
 	}
 	return d.metrics

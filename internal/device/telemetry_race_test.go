@@ -1,0 +1,70 @@
+package device
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestCloneMetricsConcurrentMaterialization races the lazy-telemetry
+// materialization on a fresh clone: a dashboard goroutine scraping
+// /proc/jgre_metrics, another calling Metrics().RenderProm directly,
+// and a third reading gauge values, all before the simulation side has
+// ever touched the registry. Every observer must see one coherent,
+// fully-registered registry (run under -race via `make race`).
+func TestCloneMetricsConcurrentMaterialization(t *testing.T) {
+	base, err := BootFresh(Config{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Snapshot()
+	clone, err := base.CloneWithSeed(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	var wg sync.WaitGroup
+	outs := make([][]byte, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				out, err := clone.Kernel().ProcFS().Read(MetricsPath, kernel.SystemUid)
+				if err != nil {
+					t.Errorf("procfs scrape: %v", err)
+					return
+				}
+				outs[i] = out
+			case 1:
+				outs[i] = clone.Metrics().RenderProm()
+			default:
+				if _, ok := clone.Metrics().Value("jgre_device_processes"); !ok {
+					t.Error("jgre_device_processes missing from materialized registry")
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every rendered snapshot came from the same fully-built registry:
+	// nothing half-registered, and the canonical series are present.
+	for i, out := range outs {
+		if out == nil {
+			continue
+		}
+		for _, want := range []string{
+			"jgre_device_uptime_seconds",
+			"jgre_binder_transactions_total",
+			`jgre_jgr_table_cap{process="system_server"}`,
+		} {
+			if !bytes.Contains(out, []byte(want)) {
+				t.Fatalf("reader %d saw a registry missing %q", i, want)
+			}
+		}
+	}
+}

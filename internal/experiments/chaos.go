@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/defense"
+	"repro/internal/device"
+	"repro/internal/parallel"
+	"repro/internal/services"
+	"repro/internal/workload"
+)
+
+// ChaosAxes are the lifecycle-fault dimensions ChaosSweep accepts.
+var ChaosAxes = []string{"crash", "backoff", "checkpoint"}
+
+// ChaosPoint is one point of a lifecycle chaos sweep: a fault/recovery
+// configuration and the defender's aggregate behaviour under it.
+type ChaosPoint struct {
+	// Label is the axis value ("crash=2s", "backoff=500ms", "bounce=warm").
+	Label string
+	// Trials is how many independent devices this point averaged over.
+	Trials int
+	// DetectionRate is the fraction of trials whose detection killed the
+	// attacker before the step budget ran out — the ROC y-axis.
+	DetectionRate float64
+	// InnocentKillRate is the mean number of non-attacker apps killed per
+	// trial — the ROC x-axis.
+	InnocentKillRate float64
+	// MeanDetectMillis is the mean virtual time to detection over the
+	// trials that detected, in milliseconds (0 when none did).
+	MeanDetectMillis float64
+	// Crashes / DefenderKills / DefenderRestores / Reboots total the chaos
+	// engine's injected faults across trials.
+	Crashes          int
+	DefenderKills    int
+	DefenderRestores int
+	Reboots          int
+	// SupervisorRestarts totals supervised service recoveries.
+	SupervisorRestarts int
+	// MeanRecoveryMillis is the mean supervised death→restart gap in
+	// virtual milliseconds (0 when nothing was restarted).
+	MeanRecoveryMillis float64
+	// AttackerRestarts totals the attacker's own chaos-driven relaunches —
+	// the attack surviving churn is what makes detection under chaos hard.
+	AttackerRestarts int
+}
+
+// ChaosResult is one axis of the lifecycle chaos study.
+type ChaosResult struct {
+	Axis string
+	// InnocentKillBound is the guard budget every trial ran under.
+	InnocentKillBound int
+	Points            []ChaosPoint
+}
+
+// chaosPointCfg is one swept configuration.
+type chaosPointCfg struct {
+	label string
+	chaos chaos.Config
+	sup   chaos.SupervisorConfig
+	mode  defense.BounceMode
+}
+
+// chaosAxisPoints returns the configurations swept along one axis,
+// gentlest first. Point 0 of the crash axis is the zero-chaos baseline.
+func chaosAxisPoints(axis string) ([]chaosPointCfg, error) {
+	switch axis {
+	case "crash":
+		// Service/app churn rate, with a fixed supervisor. Cadences sit at
+		// or below the chaos-free time-to-detect (~2.7s quick) so every
+		// non-zero point injects churn before the verdict.
+		var pts []chaosPointCfg
+		for _, every := range []time.Duration{0, 2 * time.Second, time.Second, 500 * time.Millisecond, 250 * time.Millisecond} {
+			pts = append(pts, chaosPointCfg{
+				label: fmt.Sprintf("crash=%v", every),
+				chaos: chaos.Config{CrashEvery: every, CrashApps: true, CrashAppServices: true},
+				sup:   chaos.SupervisorConfig{InitialBackoff: 500 * time.Millisecond},
+				mode:  defense.BounceSync,
+			})
+		}
+		return pts, nil
+	case "backoff":
+		// Fixed churn, varying supervisor restart latency: slow restarts
+		// starve the benign population (and the attack target) of services.
+		// Churn is restricted to supervised targets (service hosts and
+		// app-service owners, not plain apps) so every crash exercises the
+		// restart path being swept.
+		var pts []chaosPointCfg
+		for _, b := range []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second, 8 * time.Second} {
+			pts = append(pts, chaosPointCfg{
+				label: fmt.Sprintf("backoff=%v", b),
+				chaos: chaos.Config{CrashEvery: 750 * time.Millisecond, CrashAppServices: true},
+				sup:   chaos.SupervisorConfig{InitialBackoff: b},
+				mode:  defense.BounceSync,
+			})
+		}
+		return pts, nil
+	case "checkpoint":
+		// Defender bounced mid-attack under app churn; what it comes back
+		// with is the swept variable. none = never killed (ceiling), sync =
+		// graceful-shutdown checkpoint, warm = last boundary checkpoint,
+		// cold = full re-baseline at the attack-inflated JGR count.
+		base := chaos.Config{
+			CrashEvery:        3 * time.Second,
+			CrashApps:         true,
+			DefenderKillEvery: 1200 * time.Millisecond,
+			DefenderDowntime:  400 * time.Millisecond,
+		}
+		none := base
+		none.DefenderKillEvery = 0
+		return []chaosPointCfg{
+			{label: "bounce=none", chaos: none, mode: defense.BounceSync},
+			{label: "bounce=sync", chaos: base, mode: defense.BounceSync},
+			{label: "bounce=warm", chaos: base, mode: defense.BounceWarm},
+			{label: "bounce=cold", chaos: base, mode: defense.BounceCold},
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown chaos axis %q (want crash, backoff or checkpoint)", axis)
+	}
+}
+
+// chaosOutcome is one trial's raw measurements.
+type chaosOutcome struct {
+	point, trial     int
+	detected         bool
+	detectAt         time.Duration
+	innocentKills    int
+	crashes          int
+	defenderKills    int
+	defenderRestores int
+	reboots          int
+	supRestarts      int
+	supDowntime      time.Duration
+	attackerRestarts int
+}
+
+// ChaosSweep measures churn-resilient detection: the defender's
+// detection rate vs innocent-kill rate as lifecycle faults worsen along
+// one axis — service crash rate, supervisor restart backoff, or
+// defender checkpoint mode. Each (point, trial) pair boots its own
+// device (seed 1100+trial), runs the benign population plus one
+// attacker with auto-restart, a client-side retry policy, the chaos
+// engine and a supervisor, and stops at the first detection or the step
+// budget — a trial that never detects is a miss, not an error. Results
+// are identical for any worker count.
+func ChaosSweep(ctx context.Context, scale Scale, axis string, workers int) (*ChaosResult, error) {
+	pts, err := chaosAxisPoints(axis)
+	if err != nil {
+		return nil, err
+	}
+	trials, population := 2, 12
+	if scale == Full {
+		trials, population = 4, 30
+	}
+	type shard struct{ point, trial int }
+	var shards []shard
+	for p := range pts {
+		for t := 0; t < trials; t++ {
+			shards = append(shards, shard{point: p, trial: t})
+		}
+	}
+	outcomes, err := parallel.Map(ctx, shards, workers, func(ctx context.Context, _ int, s shard) (chaosOutcome, error) {
+		out, err := chaosTrialOnce(ctx, scale, s.trial, population, pts[s.point])
+		if err != nil {
+			return chaosOutcome{}, fmt.Errorf("experiments: chaos %s trial %d: %w", pts[s.point].label, s.trial, err)
+		}
+		out.point, out.trial = s.point, s.trial
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{Axis: axis, InnocentKillBound: defense.DefaultInnocentKillBudget}
+	for p := range pts {
+		pt := ChaosPoint{Label: pts[p].label, Trials: trials}
+		var detectSum time.Duration
+		detected := 0
+		for _, o := range outcomes {
+			if o.point != p {
+				continue
+			}
+			if o.detected {
+				detected++
+				detectSum += o.detectAt
+			}
+			pt.InnocentKillRate += float64(o.innocentKills)
+			pt.Crashes += o.crashes
+			pt.DefenderKills += o.defenderKills
+			pt.DefenderRestores += o.defenderRestores
+			pt.Reboots += o.reboots
+			pt.SupervisorRestarts += o.supRestarts
+			pt.AttackerRestarts += o.attackerRestarts
+			pt.MeanRecoveryMillis += float64(o.supDowntime) / float64(time.Millisecond)
+		}
+		pt.DetectionRate = float64(detected) / float64(trials)
+		pt.InnocentKillRate /= float64(trials)
+		if detected > 0 {
+			pt.MeanDetectMillis = float64(detectSum) / float64(detected) / float64(time.Millisecond)
+		}
+		if pt.SupervisorRestarts > 0 {
+			pt.MeanRecoveryMillis /= float64(pt.SupervisorRestarts)
+		} else {
+			pt.MeanRecoveryMillis = 0
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// chaosTrialOnce runs one churn trial: benign population plus one
+// attacker (all auto-restarting), client retry on dead handles, chaos
+// engine, supervisor, and a bounced defender, until the first detection
+// or the step budget.
+func chaosTrialOnce(ctx context.Context, scale Scale, trial, population int, pt chaosPointCfg) (chaosOutcome, error) {
+	dev, err := device.Boot(device.Config{Seed: int64(1100 + trial)})
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	dev.SetClientRetry(services.RetryPolicy{Deadline: 3 * time.Second, Backoff: 50 * time.Millisecond})
+	dcfg := defenseThresholds(scale)
+	dcfg.InnocentKillBudget = defense.DefaultInnocentKillBudget
+	bouncer, err := defense.NewBouncer(dev, dcfg, pt.mode)
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	// Detections accumulate here across defender incarnations — a bounce
+	// resets the incarnation's History but not this trial's ledger.
+	var dets []defense.Detection
+	bouncer.SetOnDetection(func(d defense.Detection) { dets = append(dets, d) })
+	abort := func() bool { return ctx.Err() != nil }
+	bouncer.SetAbort(abort)
+
+	sched := workload.NewScheduler(dev)
+	benign, err := workload.Population(dev, sched, population, int64(trial), 2*time.Second)
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	for _, b := range benign {
+		b.SetAutoRestart(true)
+	}
+	evil, err := dev.Apps().Install("com.evil.app")
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	atk, err := workload.NewAttacker(dev, evil, "audio.startWatchingRoutes")
+	if err != nil {
+		return chaosOutcome{}, err
+	}
+	atk.SetAutoRestart(true)
+	sched.Add(atk)
+
+	ccfg := pt.chaos
+	ccfg.Seed = int64(31 + trial)
+	engine := chaos.New(dev, sched, ccfg, bouncer)
+	sup := chaos.NewSupervisor(dev, sched, pt.sup)
+	sup.SetAbort(abort)
+
+	// Under aggressive chaos (a cold-restored defender killed again before
+	// it can re-engage) detection legitimately never happens; the victim
+	// table just cycles through JGR-exhaustion reboots. The virtual-time
+	// horizon — ~10x the chaos-free detection time — turns that into a
+	// prompt miss instead of a multi-hour simulated stakeout.
+	const horizon = 30 * time.Second
+	sched.Run(func() bool {
+		return ctx.Err() != nil || len(dets) > 0 || dev.Clock().Now() >= horizon
+	}, 4_000_000)
+	if err := ctx.Err(); err != nil {
+		return chaosOutcome{}, err
+	}
+	out := chaosOutcome{
+		crashes:          engine.Stats().Crashes,
+		defenderKills:    engine.Stats().DefenderKills,
+		defenderRestores: engine.Stats().DefenderRestores,
+		reboots:          engine.Stats().Reboots,
+		supRestarts:      sup.Stats().Restarts,
+		supDowntime:      sup.Stats().TotalDowntime,
+		attackerRestarts: atk.Restarts(),
+	}
+	if len(dets) > 0 {
+		out.detectAt = dev.Clock().Now()
+		for _, k := range dets[0].Killed {
+			if k == "com.evil.app" {
+				out.detected = true
+			} else {
+				out.innocentKills++
+			}
+		}
+	}
+	return out, nil
+}

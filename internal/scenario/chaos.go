@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"context"
+
+	"repro/internal/experiments"
+)
+
+// GroupChaos holds the lifecycle chaos / recovery studies.
+const GroupChaos = "chaos"
+
+// chaosShards counts a chaos sweep's fan-out: one device per
+// (point, trial) pair.
+func chaosShards(result any) int {
+	res, _ := result.(*experiments.ChaosResult)
+	if res == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range res.Points {
+		n += p.Trials
+	}
+	return n
+}
+
+func init() {
+	axes := []struct {
+		axis, description string
+	}{
+		{"crash", "lifecycle chaos sweep: detection rate vs. service/app crash rate under supervised restart"},
+		{"backoff", "lifecycle chaos sweep: detection rate vs. supervisor restart backoff at fixed churn"},
+		{"checkpoint", "lifecycle chaos sweep: detection under defender kill/restore across checkpoint modes (none/sync/warm/cold)"},
+	}
+	for _, a := range axes {
+		axis := a.axis
+		Register(Scenario{
+			Name:           "chaos-" + axis,
+			Group:          GroupChaos,
+			Description:    a.description,
+			Parallelizable: true,
+			Slow:           true,
+			Run: func(ctx context.Context, p Params) (any, error) {
+				return experiments.ChaosSweep(ctx, expScale(p.Scale), axis, p.Workers)
+			},
+			Shards: chaosShards,
+		})
+	}
+}

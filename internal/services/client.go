@@ -1,12 +1,35 @@
 package services
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/binder"
 	"repro/internal/catalog"
 	"repro/internal/kernel"
 )
+
+// ErrRetryExhausted reports that a transaction kept hitting dead
+// handles past its retry deadline. It deliberately does NOT wrap
+// binder.ErrDeadObject: workload actors treat a dead object as a
+// permanent stop, while an exhausted retry is a recoverable outage the
+// restart-aware actors handle themselves.
+var ErrRetryExhausted = errors.New("services: transaction retry deadline exceeded")
+
+// RetryPolicy makes a client survive service restarts: a transaction
+// failing with binder.ErrDeadObject is retried — re-resolving the
+// service through the ServiceManager each attempt — with exponential
+// backoff until the per-call Deadline of virtual time is spent. The
+// zero value disables retry entirely (the pre-chaos behaviour).
+type RetryPolicy struct {
+	// Deadline bounds the total virtual time one call may spend
+	// retrying. 0 disables retry.
+	Deadline time.Duration
+	// Backoff is the first retry delay; it doubles per attempt.
+	// 0 with a non-zero Deadline defaults to 10ms.
+	Backoff time.Duration
+}
 
 // Client is an app-side handle on a catalogued system service: the app's
 // retained proxy plus the compiled-in transaction-code table. It is the
@@ -16,9 +39,12 @@ type Client struct {
 	serviceName string
 	proc        *kernel.Process
 	driver      *binder.Driver
+	sm          *binder.ServiceManager
 	ref         *binder.BinderRef
 	codes       map[string]binder.TxCode
 	pkg         string
+	retry       RetryPolicy
+	retries     int
 }
 
 // NewClient looks the service up in the ServiceManager on behalf of proc.
@@ -34,10 +60,57 @@ func NewClient(sm *binder.ServiceManager, d *binder.Driver, proc *kernel.Process
 		serviceName: serviceName,
 		proc:        proc,
 		driver:      d,
+		sm:          sm,
 		ref:         ref,
 		codes:       MethodCodes(catalog.InterfacesForService(serviceName)),
 		pkg:         pkg,
 	}, nil
+}
+
+// SetRetry installs (or clears, with the zero value) the client's
+// dead-handle retry policy.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// Retries returns how many dead-handle retries the client has burned
+// across all calls.
+func (c *Client) Retries() int { return c.retries }
+
+// transact sends one transaction through the retained proxy, applying
+// the retry policy on dead handles. The binder driver checks liveness
+// before consuming parcels, so a failed attempt leaves data/reply intact
+// for verbatim re-submission. Each retry advances the virtual clock by
+// the current backoff and re-resolves the service, picking up the
+// supervisor's replacement stub once it re-registers.
+func (c *Client) transact(code binder.TxCode, data, reply *binder.Parcel) error {
+	err := c.ref.Binder().Transact(code, data, reply)
+	if err == nil || !errors.Is(err, binder.ErrDeadObject) || c.retry.Deadline <= 0 {
+		return err
+	}
+	clock := c.driver.Kernel().Clock()
+	deadline := clock.Now() + c.retry.Deadline
+	backoff := c.retry.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		if clock.Now()+backoff > deadline {
+			return fmt.Errorf("%w: %s after %d retries", ErrRetryExhausted, c.serviceName, c.retries)
+		}
+		clock.Advance(backoff)
+		backoff *= 2
+		c.retries++
+		ref, rerr := c.sm.GetService(c.serviceName, c.proc)
+		if rerr != nil {
+			// Service not re-registered yet: burn the backoff and try
+			// again within the deadline.
+			continue
+		}
+		c.ref.Release()
+		c.ref = ref
+		if err = c.ref.Binder().Transact(code, data, reply); err == nil || !errors.Is(err, binder.ErrDeadObject) {
+			return err
+		}
+	}
 }
 
 // ServiceName returns the target service's registry name.
@@ -84,7 +157,7 @@ func (c *Client) RegisterAs(method, pkg string, token binder.IBinder) error {
 	defer reply.Recycle()
 	data.WriteString(pkg)
 	data.WriteStrongBinder(token)
-	return c.ref.Binder().Transact(code, data, reply)
+	return c.transact(code, data, reply)
 }
 
 // RegisterPath invokes a retaining method selecting an execution-path
@@ -106,7 +179,7 @@ func (c *Client) RegisterPath(method, pkg string, variant int32, token binder.IB
 	// argument structures.
 	data.WriteBytes(make([]byte, int(variant)*64))
 	data.WriteStrongBinder(token)
-	return c.ref.Binder().Transact(code, data, reply)
+	return c.transact(code, data, reply)
 }
 
 // Unregister releases the caller's oldest registration on method.
@@ -119,7 +192,7 @@ func (c *Client) Unregister(method string) error {
 	defer data.Recycle()
 	defer reply.Recycle()
 	data.WriteString(c.pkg)
-	return c.ref.Binder().Transact(code, data, reply)
+	return c.transact(code, data, reply)
 }
 
 // Call invokes a non-retaining method. Methods that read a binder
@@ -134,7 +207,7 @@ func (c *Client) Call(method string) error {
 	defer reply.Recycle()
 	data.WriteString(c.pkg)
 	data.WriteStrongBinder(c.NewToken())
-	return c.ref.Binder().Transact(code, data, reply)
+	return c.transact(code, data, reply)
 }
 
 // Close releases the client's proxy on the service.

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -39,11 +40,43 @@ type Actor interface {
 // queue's tie-break priority is the registration index), which is
 // exactly the order the old linear min-Due scan produced, so envelopes
 // are byte-identical across the rewrite.
+//
+// Besides actors the scheduler carries one-shot timers (At): the chaos
+// engine and the supervisor schedule crashes and backoff restarts as
+// plain events on the same queue, so fault timing is as deterministic as
+// the workload itself. Timer priorities live above timerPriBase, which
+// makes every same-instant timer fire after every same-instant actor —
+// a run with zero timers is byte-identical to a run before timers
+// existed.
 type Scheduler struct {
-	dev    *device.Device
-	actors []Actor
-	queue  event.Queue[int] // registration indexes, keyed by Due
+	dev      *device.Device
+	actors   []Actor
+	queue    event.Queue[schedItem]
+	timers   []*timerEvent
+	timerSeq uint64
+	running  bool
 }
+
+// schedItem is one queue entry: an actor (by registration index) or a
+// one-shot timer.
+type schedItem struct {
+	actor int
+	timer *timerEvent
+}
+
+// timerEvent is a one-shot callback at a fixed virtual time. The
+// priority is assigned at creation and stays stable across Run-boundary
+// queue rebuilds, so two timers created in order always fire in order.
+type timerEvent struct {
+	at    time.Duration
+	pri   uint64
+	fn    func()
+	fired bool
+}
+
+// timerPriBase orders all timers after all same-instant actors: actor
+// priorities are registration indexes, far below 1<<32.
+const timerPriBase = uint64(1) << 32
 
 // NewScheduler creates a scheduler on the device clock. The scheduler
 // attaches its event queue as a clock horizon source and publishes
@@ -65,6 +98,22 @@ func NewScheduler(dev *device.Device) *Scheduler {
 // Add registers an actor. Same-due ties fire in registration order.
 func (s *Scheduler) Add(a Actor) { s.actors = append(s.actors, a) }
 
+// At schedules fn to run once at virtual time t (clamped to now if t is
+// in the past). Timers created while Run is draining the queue are
+// pushed live; timers created between runs are picked up by the next
+// Run's rebuild. A timer firing counts as a step.
+func (s *Scheduler) At(t time.Duration, fn func()) {
+	if now := s.dev.Clock().Now(); t < now {
+		t = now
+	}
+	s.timerSeq++
+	ev := &timerEvent{at: t, pri: timerPriBase + s.timerSeq, fn: fn}
+	s.timers = append(s.timers, ev)
+	if s.running {
+		s.queue.Push(ev.at, ev.pri, schedItem{timer: ev})
+	}
+}
+
 // Run drains the event queue in (due, registration order) until stop
 // returns true, every actor is done, or maxSteps actions have run; it
 // returns the number of steps. maxSteps <= 0 means no step limit — the
@@ -77,24 +126,46 @@ func (s *Scheduler) Run(stop func() bool, maxSteps int) int {
 	// Rebuild the queue from current actor state: Due/Done may have been
 	// driven externally between Run calls, and errored-but-not-Done actors
 	// become eligible again on the next Run (the old loop's dead map was
-	// Run-local too).
-	s.queue = event.Queue[int]{}
+	// Run-local too). Unfired timers carry over between runs; fired ones
+	// are compacted away.
+	s.queue = event.Queue[schedItem]{}
 	for i, a := range s.actors {
 		if a.Done() {
 			continue
 		}
-		s.queue.Push(a.Due(), uint64(i), i)
+		s.queue.Push(a.Due(), uint64(i), schedItem{actor: i})
 	}
+	live := s.timers[:0]
+	for _, ev := range s.timers {
+		if ev.fired {
+			continue
+		}
+		live = append(live, ev)
+		s.queue.Push(ev.at, ev.pri, schedItem{timer: ev})
+	}
+	s.timers = live
+	s.running = true
+	defer func() { s.running = false }()
 	steps := 0
 	for maxSteps <= 0 || steps < maxSteps {
 		if stop != nil && stop() {
 			break
 		}
-		idx, at, ok := s.queue.Pop()
+		it, at, ok := s.queue.Pop()
 		if !ok {
 			break
 		}
-		a := s.actors[idx]
+		if ev := it.timer; ev != nil {
+			if ev.fired {
+				continue
+			}
+			clock.AdvanceTo(at)
+			ev.fired = true
+			ev.fn()
+			steps++
+			continue
+		}
+		a := s.actors[it.actor]
 		// Done is re-checked at pop time with the clock still at the
 		// previous event: actors whose Done depends on virtual time (a
 		// StopAfter bound) must see the same clock the old scan showed
@@ -106,10 +177,24 @@ func (s *Scheduler) Run(stop func() bool, maxSteps int) int {
 		err := a.Step()
 		steps++
 		if err == nil {
-			s.queue.Push(a.Due(), uint64(idx), idx)
+			s.queue.Push(a.Due(), uint64(it.actor), schedItem{actor: it.actor})
 		}
 	}
 	return steps
+}
+
+// restartRetryInterval paces an auto-restarting actor that came back up
+// before its target service did: the relaunch is retried on this fixed
+// deterministic cadence until the supervisor has re-registered the
+// service.
+const restartRetryInterval = 50 * time.Millisecond
+
+// chaosRestartable reports whether an exit reason is a lifecycle-chaos
+// death an auto-restarting actor should recover from. Anything else
+// (LMK, a defender kill, an explicit stop) keeps its pre-chaos
+// semantics: the actor stays down.
+func chaosRestartable(reason string) bool {
+	return strings.HasPrefix(reason, "chaos:") || strings.HasPrefix(reason, "soft reboot")
 }
 
 // arrival is a per-class arrival process: given the current virtual
@@ -160,6 +245,10 @@ type Attacker struct {
 	// paths > 1 makes the attacker rotate execution-path variants per
 	// call — the §VI evasion attempt against delay-correlation scoring.
 	paths int
+	// autoRestart makes the attacker relaunch after lifecycle-chaos
+	// deaths (a real JGRE author restarts too; see chaosRestartable).
+	autoRestart bool
+	restarts    int
 }
 
 // typicalBaseline approximates system_server's resting JGR table, used
@@ -228,6 +317,31 @@ func (a *Attacker) Calls() int { return a.calls }
 // Err returns the error that stopped the attacker, if any.
 func (a *Attacker) Err() error { return a.failed }
 
+// SetAutoRestart toggles relaunch-after-chaos: with it on, a process
+// death whose reason is a chaos kill or a soft reboot relaunches the app
+// and rebinds the client instead of permanently stopping the actor.
+func (a *Attacker) SetAutoRestart(on bool) { a.autoRestart = on }
+
+// Restarts returns how many times the attacker relaunched after a
+// chaos death.
+func (a *Attacker) Restarts() int { return a.restarts }
+
+// relaunch restarts the app and rebinds the attack client. If the
+// target service is itself down (awaiting its supervisor restart) the
+// relaunch is retried on a fixed cadence rather than failing the actor.
+func (a *Attacker) relaunch() error {
+	a.app.Start()
+	client, err := a.dev.NewClient(a.app, a.target.Service)
+	if err != nil {
+		a.due = a.dev.Clock().Now() + restartRetryInterval
+		return nil
+	}
+	a.client = client
+	a.restarts++
+	a.due = a.pace.next(a.dev.Clock().Now())
+	return nil
+}
+
 // Due implements Actor.
 func (a *Attacker) Due() time.Duration { return a.due }
 
@@ -238,6 +352,9 @@ func (a *Attacker) Done() bool { return a.failed != nil }
 // Step issues one registration and schedules the next.
 func (a *Attacker) Step() error {
 	if !a.app.Running() {
+		if a.autoRestart && chaosRestartable(a.app.LastExitReason()) {
+			return a.relaunch()
+		}
 		a.failed = errors.New("workload: attacker process dead")
 		return a.failed
 	}
@@ -251,7 +368,13 @@ func (a *Attacker) Step() error {
 	switch {
 	case err == nil, errors.Is(err, services.ErrQuotaExceeded):
 		// Quota refusals keep the attacker hammering (it costs nothing).
-	case errors.Is(err, binder.ErrDeadObject):
+	case errors.Is(err, binder.ErrDeadObject), errors.Is(err, services.ErrRetryExhausted):
+		// The victim service died under the call. A restart-aware
+		// attacker rebinds once the supervisor brings it back — exactly
+		// the blind-window behaviour the chaos sweeps measure.
+		if a.autoRestart {
+			return a.relaunch()
+		}
 		a.failed = err
 		return err
 	default:
@@ -371,6 +494,9 @@ type BenignApp struct {
 	refusals int
 	stopAt   time.Duration // 0 = forever
 	failed   error
+
+	autoRestart bool
+	restarts    int
 }
 
 // benignServicePool is the set of services benign apps talk to.
@@ -436,6 +562,35 @@ func (b *BenignApp) SetHeavy(maxRegs int) { b.maxRegs = maxRegs }
 // StopAfter makes the actor stop at the given virtual time.
 func (b *BenignApp) StopAfter(t time.Duration) { b.stopAt = t }
 
+// SetAutoRestart toggles relaunch-after-chaos, mirroring the attacker's:
+// chaos kills and soft reboots relaunch the app instead of stopping it.
+func (b *BenignApp) SetAutoRestart(on bool) { b.autoRestart = on }
+
+// Restarts returns how many times the app relaunched after chaos deaths.
+func (b *BenignApp) Restarts() int { return b.restarts }
+
+// relaunch restarts the app and rebuilds its service clients. Any
+// service still down defers the whole relaunch to a fixed retry cadence;
+// held registrations were torn down with the old process, so the
+// registration count resets.
+func (b *BenignApp) relaunch() error {
+	b.app.Start()
+	clients := make(map[string]*services.Client, len(b.services))
+	for _, svc := range b.services {
+		c, err := b.dev.NewClient(b.app, svc)
+		if err != nil {
+			b.due = b.dev.Clock().Now() + restartRetryInterval
+			return nil
+		}
+		clients[svc] = c
+	}
+	b.clients = clients
+	b.regs = 0
+	b.restarts++
+	b.due = b.pace.next(b.dev.Clock().Now())
+	return nil
+}
+
 // Due implements Actor.
 func (b *BenignApp) Due() time.Duration { return b.due }
 
@@ -450,6 +605,9 @@ func (b *BenignApp) Done() bool {
 // Step implements Actor: one innocent call, or a bounded registration.
 func (b *BenignApp) Step() error {
 	if !b.app.Running() {
+		if b.autoRestart && chaosRestartable(b.app.LastExitReason()) {
+			return b.relaunch()
+		}
 		b.failed = errors.New("workload: benign app dead")
 		return b.failed
 	}
@@ -480,7 +638,10 @@ func (b *BenignApp) Step() error {
 			err = c.Call("noteEvent")
 		}
 	}
-	if err != nil && errors.Is(err, binder.ErrDeadObject) {
+	if err != nil && (errors.Is(err, binder.ErrDeadObject) || errors.Is(err, services.ErrRetryExhausted)) {
+		if b.autoRestart {
+			return b.relaunch()
+		}
 		b.failed = err
 		return err
 	}
