@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench bench-json bench-profile bench-smoke cover ci
+.PHONY: build test vet race fuzz-smoke bench bench-json bench-fleet-json bench-profile bench-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,7 @@ vet:
 # queue and the device snapshot/clone layer every concurrent shard now
 # boots through.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device ./internal/chaos
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device ./internal/chaos ./internal/fleet
 
 # Coverage-guided fuzzing smoke: the kernel log-record parser (the one
 # spot where the defender consumes a wire format), the differential pin
@@ -42,6 +42,12 @@ fuzz-smoke:
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
 	$(GO) run ./cmd/jgre-bench -bench-json BENCH_parallel.json
+
+# Regenerate the fleet slot-mode throughput comparison (BENCH_fleet.json):
+# devices/sec for recycled vs cloned-per-device vs freshly-booted slots,
+# with allocation accounting.
+bench-fleet-json:
+	$(GO) run ./cmd/jgre-bench -fleet-json BENCH_fleet.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
@@ -75,12 +81,23 @@ bench-smoke:
 			if (ratio < 50) { printf "bench-smoke: clone is only %.1fx faster than boot (want >= 50x)\n", ratio; exit 1 } \
 			printf "bench-smoke: device clone %.1fx faster than boot\n", ratio }' \
 		/tmp/jgre-clone-smoke.out
+	$(GO) test -bench='^BenchmarkFleet$$' -benchtime=2x -run '^$$' ./internal/fleet \
+		| tee /tmp/jgre-fleet-smoke.out
+	@awk '/^BenchmarkFleet\/recycle/ { for (i = 1; i <= NF; i++) if ($$i == "devices/sec") rec = $$(i-1) + 0 } \
+		/^BenchmarkFleet\/clone/ { for (i = 1; i <= NF; i++) if ($$i == "devices/sec") cl = $$(i-1) + 0 } \
+		END { if (!rec || !cl) { print "bench-smoke: fleet slot-mode benchmarks did not run"; exit 1 } \
+			ratio = rec / cl; \
+			if (ratio < 2) { printf "bench-smoke: fleet recycle only %.2fx clone-per-device throughput (want >= 2x)\n", ratio; exit 1 } \
+			printf "bench-smoke: fleet recycle %.1fx clone-per-device throughput\n", ratio }' \
+		/tmp/jgre-fleet-smoke.out
 
 # Coverage floors. The telemetry registry's zero-alloc counters and
 # Prometheus renderer are pure library code every layer leans on, so
 # they stay at >= 85% statement coverage. The chaos engine and
 # supervisor gate every recovery claim the chaos-* scenarios make, so
-# their fault-schedule and backoff paths stay at >= 75%.
+# their fault-schedule and backoff paths stay at >= 75%; likewise the
+# fleet engine's chunking/merge/slot-mode paths back every fleet-*
+# rollup, so internal/fleet holds >= 75%.
 cover:
 	$(GO) test -cover -coverprofile=/tmp/jgre-telemetry.cover ./internal/telemetry
 	@total=$$($(GO) tool cover -func=/tmp/jgre-telemetry.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -92,5 +109,10 @@ cover:
 		echo "internal/chaos coverage: $$total%"; \
 		awk -v t="$$total" 'BEGIN { exit (t >= 75.0) ? 0 : 1 }' \
 		|| { echo "cover: internal/chaos coverage $$total% below 75% floor"; exit 1; }
+	$(GO) test -cover -coverprofile=/tmp/jgre-fleet.cover ./internal/fleet
+	@total=$$($(GO) tool cover -func=/tmp/jgre-fleet.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/fleet coverage: $$total%"; \
+		awk -v t="$$total" 'BEGIN { exit (t >= 75.0) ? 0 : 1 }' \
+		|| { echo "cover: internal/fleet coverage $$total% below 75% floor"; exit 1; }
 
 ci: vet build test race fuzz-smoke bench-smoke cover

@@ -60,7 +60,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "registered scenarios:")
 		for _, reg := range scenario.List() {
-			fmt.Fprintf(os.Stderr, "  %-14s %-10s %s\n", reg.Name, reg.Group, reg.Description)
+			fmt.Fprintf(os.Stderr, "  %-20s %-10s %s\n", reg.Name, reg.Group, reg.Description)
 		}
 		os.Exit(2)
 	}
@@ -112,14 +112,21 @@ func main() {
 	fmt.Printf("completed in %.0f ms\n", env.WallMS)
 }
 
+// list prints the registry grouped by scenario group (the registry's
+// sort order is group-major, so one pass suffices).
 func list() {
-	fmt.Printf("%-14s %-10s %-9s %s\n", "SCENARIO", "GROUP", "PARALLEL", "DESCRIPTION")
+	fmt.Printf("  %-20s %-9s %s\n", "SCENARIO", "PARALLEL", "DESCRIPTION")
+	group := ""
 	for _, s := range scenario.List() {
+		if s.Group != group {
+			group = s.Group
+			fmt.Printf("\n%s\n", strings.ToUpper(group))
+		}
 		par := "-"
 		if s.Parallelizable {
 			par = "yes"
 		}
-		fmt.Printf("%-14s %-10s %-9s %s\n", s.Name, s.Group, par, s.Description)
+		fmt.Printf("  %-20s %-9s %s\n", s.Name, par, s.Description)
 	}
 }
 

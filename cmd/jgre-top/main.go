@@ -11,10 +11,17 @@
 // and a mid-run soft reboot — and renders a RECOVERY panel with the
 // chaos/supervisor/checkpoint counters.
 //
-//	jgre-top [-scenario idle|benign|attack|defended|chaos] [-tick 1s] [-duration 2m] [-width 60]
+// The fleet scenario is different in kind: instead of one device on the
+// virtual clock it runs the fleet engine's baseline and attack-rollout
+// sweeps across -fleet-devices recycled slots and renders a FLEET panel
+// — the engine's slot-turnover counters plus each sweep's streaming
+// rollup (detection rate, innocent kills, time-to-detect percentiles).
+//
+//	jgre-top [-scenario idle|benign|attack|defended|chaos|fleet] [-tick 1s] [-duration 2m] [-width 60] [-fleet-devices 512]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/metrics/ascii"
 	"repro/internal/services"
 	"repro/internal/telemetry"
@@ -36,11 +44,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jgre-top: ")
 
-	scenarioF := flag.String("scenario", "attack", "idle | benign | attack | defended | chaos")
+	scenarioF := flag.String("scenario", "attack", "idle | benign | attack | defended | chaos | fleet")
 	tick := flag.Duration("tick", time.Second, "virtual sampling interval")
 	duration := flag.Duration("duration", 2*time.Minute, "virtual time to simulate")
 	width := flag.Int("width", 60, "sparkline width in cells")
+	fleetDevices := flag.Int("fleet-devices", 512, "fleet width for -scenario fleet")
 	flag.Parse()
+
+	if *scenarioF == "fleet" {
+		runFleet(*fleetDevices)
+		return
+	}
 
 	dev, err := device.Boot(device.Config{Seed: 4})
 	if err != nil {
@@ -133,6 +147,61 @@ func main() {
 		def = bouncer.Defender()
 	}
 	render(os.Stdout, dev, def, sampler, *scenarioF, *width)
+}
+
+// runFleet drives the fleet engine's baseline and attack-rollout sweeps
+// and renders the FLEET panel from the engine's process-global counters
+// plus each sweep's rollup.
+func runFleet(devices int) {
+	ctx := context.Background()
+	var results []*fleet.Result
+	for _, w := range []fleet.Workload{fleet.BaselineProbe(), fleet.AttackRollout(devices)} {
+		res, err := fleet.Run(ctx, fleet.Config{Devices: devices, Seed: 1042}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	renderFleet(os.Stdout, results)
+}
+
+// renderFleet prints the FLEET panel. Like the RECOVERY panel it is
+// keyed on metric presence: the slot-turnover line renders only when the
+// fleet engine registered its jgre_fleet_* counters this process.
+func renderFleet(w *os.File, results []*fleet.Result) {
+	g := telemetry.Global()
+	counter := func(name string) float64 {
+		v, _ := g.Value(name)
+		return v
+	}
+	if _, ok := g.Value("jgre_fleet_devices_total"); ok {
+		fmt.Fprintf(w, "FLEET  devices=%.0f  trials=%.0f\n",
+			counter("jgre_fleet_devices_total"), counter("jgre_fleet_trials_total"))
+		fmt.Fprintf(w, "slots  clones=%.0f  recycles=%.0f  fresh boots=%.0f\n",
+			counter("jgre_fleet_slot_clones_total"),
+			counter("jgre_fleet_slot_recycles_total"),
+			counter("jgre_fleet_slot_fresh_total"))
+	}
+	lat := func(label string, s fleet.Summary) {
+		if s.Count == 0 {
+			fmt.Fprintf(w, "  %-16s (no samples)\n", label)
+			return
+		}
+		fmt.Fprintf(w, "  %-16s p50 %6dms  p90 %6dms  p99 %6dms  max %6dms\n",
+			label, s.P50, s.P90, s.P99, s.Max)
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s  %d devices (chunk %d, seed %d)\n",
+			r.Workload, r.Devices, r.ChunkSize, r.Seed)
+		fmt.Fprintf(w, "  infected %d  detected %d (rate %.3f)  recovered %d  false alarms %d\n",
+			r.Infected, r.Detected, r.DetectionRate, r.Recovered, r.FalseAlarms)
+		fmt.Fprintf(w, "  kills: colluders %d  innocents %d (%.2f per engagement)\n",
+			r.ColludersCaught, r.InnocentKills, r.InnocentKillRate)
+		lat("time-to-detect", r.TimeToDetectMS)
+		lat("time-to-recover", r.TimeToRecoverMS)
+		fmt.Fprintf(w, "  %-16s p50 %6d    p90 %6d    p99 %6d    max %6d\n",
+			"peak JGR", r.PeakJGR.P50, r.PeakJGR.P90, r.PeakJGR.P99, r.PeakJGR.Max)
+	}
 }
 
 func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *telemetry.Sampler, scen string, width int) {

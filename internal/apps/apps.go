@@ -18,6 +18,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/permissions"
 	"repro/internal/simclock"
+	"repro/internal/xrand"
 )
 
 // FirstInstalledUid is the uid of the first installed app. The paper's
@@ -105,6 +106,9 @@ type Manager struct {
 	nextUid kernel.Uid
 	byPkg   map[string]*App
 	byUid   map[kernel.Uid]*App
+	// appSlab backs the App headers CloneInto mints for a clone; a
+	// recycled clone rewinds and refills it in place.
+	appSlab []App
 }
 
 // NewManager creates an installer.
@@ -122,23 +126,39 @@ func NewManager(k *kernel.Kernel, perms *permissions.Manager) *Manager {
 // clone: every App is re-minted against the clone's kernel (resolving
 // its process by pid, which materializes it copy-on-write) and the
 // clone's permission manager. Map iteration order is safe here — no
-// sequential ids are minted during the copy.
+// sequential ids are minted during the copy. A dst carrying maps from
+// a retired clone (the fleet slot recycle path) has them rewound and
+// reused in place.
 func (m *Manager) CloneInto(dst *Manager, k *kernel.Kernel, perms *permissions.Manager) {
+	byPkg, byUid := dst.byPkg, dst.byUid
+	if byPkg == nil {
+		byPkg = make(map[string]*App, len(m.byPkg))
+		byUid = make(map[kernel.Uid]*App, len(m.byUid))
+	} else {
+		clear(byPkg)
+		clear(byUid)
+	}
+	slab := dst.appSlab[:0]
+	if cap(slab) < len(m.byPkg) {
+		slab = make([]App, 0, len(m.byPkg))
+	}
 	*dst = Manager{
 		k:       k,
 		perms:   perms,
 		nextUid: m.nextUid,
-		byPkg:   make(map[string]*App, len(m.byPkg)),
-		byUid:   make(map[kernel.Uid]*App, len(m.byUid)),
+		byPkg:   byPkg,
+		byUid:   byUid,
 	}
 	for pkg, a := range m.byPkg {
-		na := &App{pkg: pkg, uid: a.uid, mgr: dst}
+		slab = append(slab, App{pkg: pkg, uid: a.uid, mgr: dst})
+		na := &slab[len(slab)-1]
 		if p := a.proc; p != nil && p.Alive() {
 			na.proc = k.Process(p.Pid())
 		}
 		dst.byPkg[pkg] = na
 		dst.byUid[na.uid] = na
 	}
+	dst.appSlab = slab
 }
 
 // ErrAlreadyInstalled reports a duplicate package install.
@@ -195,6 +215,14 @@ func NewServiceRegistry(d *binder.Driver) *ServiceRegistry {
 	return &ServiceRegistry{driver: d, byName: make(map[string]*binder.LocalBinder)}
 }
 
+// ResetFor rewinds the registry for reuse against a new driver, keeping
+// the name map's storage. The fleet slot recycle path uses it to carry a
+// retired clone's registry into the next trial.
+func (r *ServiceRegistry) ResetFor(d *binder.Driver) {
+	r.driver = d
+	clear(r.byName)
+}
+
 // Publish exports an app service binder under "pkg/Class".
 func (r *ServiceRegistry) Publish(name string, b *binder.LocalBinder) error {
 	if _, ok := r.byName[name]; ok {
@@ -243,12 +271,16 @@ type AppService struct {
 	rngSeed int64
 	seedMix int64
 
-	stub    *binder.LocalBinder
-	regName string
-	methods map[binder.TxCode]catalog.AppInterface
-	codes   map[string]binder.TxCode
-	entries map[string][]*appEntry
-	calls   uint64
+	stub *binder.LocalBinder
+	// transactor caches the dispatch closure handed to the driver; it
+	// binds only the AppService pointer, stable for a slab entry, so a
+	// recycled clone reuses it (see services.Service.transactor).
+	transactor binder.Transactor
+	regName    string
+	methods    map[binder.TxCode]catalog.AppInterface
+	codes      map[string]binder.TxCode
+	entries    map[string][]*appEntry
+	calls      uint64
 }
 
 type appEntry struct {
@@ -317,7 +349,8 @@ func NewAppService(owner *App, d *binder.Driver, clock *simclock.Clock, reg *Ser
 		s.methods[code] = byName[n]
 		s.codes[n] = code
 	}
-	s.stub = d.NewLocalBinder(proc, serviceClassOf(rows[0].Method), binder.TransactorFunc(s.onTransact))
+	s.transactor = binder.TransactorFunc(s.onTransact)
+	s.stub = d.NewLocalBinder(proc, serviceClassOf(rows[0].Method), s.transactor)
 	s.regName = AppServiceName(rows[0])
 	if err := reg.Publish(s.regName, s.stub); err != nil {
 		return nil, err
@@ -331,6 +364,7 @@ func NewAppService(owner *App, d *binder.Driver, clock *simclock.Clock, reg *Ser
 // order so driver ids replay identically. owner must be the clone
 // device's corresponding App.
 func (s *AppService) CloneInto(dst *AppService, owner *App, d *binder.Driver, clock *simclock.Clock, reg *ServiceRegistry, seed int64) error {
+	tr := dst.transactor
 	*dst = AppService{
 		owner:   owner,
 		clock:   clock,
@@ -341,14 +375,18 @@ func (s *AppService) CloneInto(dst *AppService, owner *App, d *binder.Driver, cl
 		codes:   s.codes,
 		calls:   s.calls,
 	}
-	dst.stub = d.NewLocalBinder(owner.Start(), s.stub.Class(), binder.TransactorFunc(dst.onTransact))
+	if tr == nil {
+		tr = binder.TransactorFunc(dst.onTransact)
+	}
+	dst.transactor = tr
+	dst.stub = d.NewLocalBinder(owner.Start(), s.stub.Class(), tr)
 	return reg.Publish(dst.regName, dst.stub)
 }
 
 // rand returns the jitter rng, seeding it on first use.
 func (s *AppService) rand() *rand.Rand {
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(s.rngSeed))
+		s.rng = xrand.New(s.rngSeed)
 	}
 	return s.rng
 }

@@ -172,13 +172,50 @@ type table struct {
 	// copy only if (and when) it actually touches the table — the
 	// system_server boot table is ~1,500 entries most shards never mutate.
 	shared bool
+
+	// Rewind support for recycled device slots. A recycled VM is rewound
+	// to its template over and over; re-sharing the template map on every
+	// rewind would make each trial's first mutation pay a fresh full COW
+	// copy. Instead, when a table is armed (rewindArm set by resetFrom),
+	// the next unshare starts logging every mutation's pre-image, and the
+	// following resetFrom undoes the log in O(mutations) — keeping the
+	// private map, already equal to the template, for the next trial.
+	//
+	// rewindArm is set on a shared table: the base to start logging
+	// against at unshare time. rewindBase marks an owned map as "base +
+	// rewindLog". rewindOff records a log overflow (a trial that mutated
+	// more than half the base table — an exhaustion attack, say): the
+	// next resetFrom falls back to plain re-sharing.
+	rewindArm  *table
+	rewindBase *table
+	rewindLog  []rewindOp
+	rewindOff  bool
+}
+
+// rewindOp is one undoable table mutation: the entry's pre-image (or its
+// absence) at the mutated reference.
+type rewindOp struct {
+	ref  IndirectRef
+	prev refEntry
+	had  bool
+}
+
+// rewindCap bounds the mutation log: past half the base table, undoing
+// stops being cheaper than the COW copy the log exists to avoid.
+func rewindCap(base int) int {
+	if c := base / 2; c > 64 {
+		return c
+	}
+	return 64
 }
 
 func newTable(kind RefKind, max int) *table {
 	return &table{kind: kind, max: max, entries: make(map[IndirectRef]refEntry)}
 }
 
-// unshare materializes a private copy of a COW-shared entry map.
+// unshare materializes a private copy of a COW-shared entry map. On an
+// armed table the copy doubles as the rewind baseline: mutation logging
+// starts here.
 func (t *table) unshare() {
 	if !t.shared {
 		return
@@ -189,6 +226,53 @@ func (t *table) unshare() {
 	}
 	t.entries = entries
 	t.shared = false
+	if t.rewindArm != nil {
+		t.rewindBase = t.rewindArm
+		t.rewindArm = nil
+		t.rewindOff = false
+		t.rewindLog = t.rewindLog[:0]
+	}
+}
+
+// touch records ref's pre-mutation state into the rewind log. Callers
+// invoke it after unshare and before the mutation itself. Once the log
+// overflows its cap the table stops logging and the next resetFrom falls
+// back to re-sharing.
+func (t *table) touch(ref IndirectRef) {
+	if t.rewindBase == nil || t.rewindOff {
+		return
+	}
+	if len(t.rewindLog) >= rewindCap(len(t.rewindBase.entries)) {
+		t.rewindOff = true
+		return
+	}
+	prev, had := t.entries[ref]
+	t.rewindLog = append(t.rewindLog, rewindOp{ref: ref, prev: prev, had: had})
+}
+
+// resetFrom rewinds t to the frozen base table. When the owned map's
+// deviation from base is covered by the mutation log, the log is undone
+// in place (newest first) and the map is kept; otherwise t re-shares
+// base's map copy-on-write and arms logging for the next unshare.
+func (t *table) resetFrom(base *table) {
+	if t.rewindBase == base && !t.rewindOff && !t.shared {
+		for i := len(t.rewindLog) - 1; i >= 0; i-- {
+			op := t.rewindLog[i]
+			if op.had {
+				t.entries[op.ref] = op.prev
+			} else {
+				delete(t.entries, op.ref)
+			}
+		}
+		t.rewindLog = t.rewindLog[:0]
+		t.kind = base.kind
+		t.max = base.max
+		t.serial = base.serial
+		return
+	}
+	*t = table{kind: base.kind, max: base.max, serial: base.serial,
+		entries: base.entries, shared: true,
+		rewindArm: base, rewindLog: t.rewindLog[:0]}
 }
 
 // Config parameterizes a VM. The zero value selects the AOSP 6.0.1
@@ -360,6 +444,7 @@ func (vm *VM) AddGlobalRef(obj *Object) (IndirectRef, error) {
 	vm.globals.unshare()
 	vm.globals.serial++
 	ref := makeRef(KindGlobal, vm.globals.serial)
+	vm.globals.touch(ref)
 	vm.globals.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
 	vm.totalGlobalAdds++
 	if n := len(vm.globals.entries); n > vm.peakGlobals {
@@ -384,6 +469,7 @@ func (vm *VM) DeleteGlobalRef(ref IndirectRef) error {
 		return &StaleRefError{Ref: ref}
 	}
 	vm.globals.unshare()
+	vm.globals.touch(ref)
 	delete(vm.globals.entries, ref)
 	vm.totalGlobalRemoves++
 	vm.emit(OpRemove, ref, e.obj)
@@ -405,6 +491,7 @@ func (vm *VM) MarkCollectable(ref IndirectRef) error {
 		return &StaleRefError{Ref: ref}
 	}
 	vm.globals.unshare()
+	vm.globals.touch(ref)
 	e.collectable = true
 	vm.globals.entries[ref] = e
 	vm.collectable++
@@ -431,6 +518,7 @@ func (vm *VM) GC() int {
 		if !e.collectable {
 			continue
 		}
+		vm.globals.touch(ref)
 		delete(vm.globals.entries, ref)
 		vm.totalGlobalRemoves++
 		freed++
@@ -509,6 +597,7 @@ func (vm *VM) AddWeakGlobalRef(obj *Object) (IndirectRef, error) {
 	vm.weaks.unshare()
 	vm.weaks.serial++
 	ref := makeRef(KindWeakGlobal, vm.weaks.serial)
+	vm.weaks.touch(ref)
 	vm.weaks.entries[ref] = refEntry{obj: obj.ID, addedAt: vm.clock.Now()}
 	return ref, nil
 }
@@ -525,6 +614,7 @@ func (vm *VM) DeleteWeakGlobalRef(ref IndirectRef) error {
 		return &StaleRefError{Ref: ref}
 	}
 	vm.weaks.unshare()
+	vm.weaks.touch(ref)
 	delete(vm.weaks.entries, ref)
 	return nil
 }
@@ -585,6 +675,53 @@ func (vm *VM) Clone(clock *simclock.Clock, onAbort func(reason string)) *VM {
 	}
 	nv.frames = []*table{newTable(KindLocal, DefaultMaxLocalRefs)}
 	return nv
+}
+
+// ResetFromTemplate rewinds vm in place to the state Clone(tmpl) would
+// return — fresh copy-on-write views of the frozen template's tables —
+// reusing the table structs, frame stack, frame pool and local-frame map
+// storage. The abort hook is preserved: it was bound to this VM's owning
+// process at materialization, and a recycled process keeps its identity.
+// The caller must guarantee nothing references the VM's retired state.
+func (vm *VM) ResetFromTemplate(tmpl *VM, clock *simclock.Clock) {
+	if clock == nil {
+		panic("art: ResetFromTemplate requires a clock")
+	}
+	if !tmpl.globals.shared || !tmpl.weaks.shared {
+		panic("art: ResetFromTemplate of an unfrozen template")
+	}
+	g, w := vm.globals, vm.weaks
+	g.resetFrom(tmpl.globals)
+	w.resetFrom(tmpl.weaks)
+	var local *table
+	if len(vm.frames) > 0 {
+		local = vm.frames[0]
+		ents := local.entries
+		clear(ents)
+		*local = table{kind: KindLocal, max: DefaultMaxLocalRefs, entries: ents}
+	} else {
+		local = newTable(KindLocal, DefaultMaxLocalRefs)
+	}
+	frames := append(vm.frames[:0], local)
+	onAbort := vm.onAbort
+	framePool := vm.framePool[:0]
+	*vm = VM{
+		process:            tmpl.process,
+		clock:              clock,
+		globals:            g,
+		weaks:              w,
+		frames:             frames,
+		framePool:          framePool,
+		collectable:        tmpl.collectable,
+		gcTrigger:          tmpl.gcTrigger,
+		aborted:            tmpl.aborted,
+		abortedReason:      tmpl.abortedReason,
+		onAbort:            onAbort,
+		totalGlobalAdds:    tmpl.totalGlobalAdds,
+		totalGlobalRemoves: tmpl.totalGlobalRemoves,
+		peakGlobals:        tmpl.peakGlobals,
+		gcCycles:           tmpl.gcCycles,
+	}
 }
 
 // abort marks the runtime dead and fires the abort callback once.

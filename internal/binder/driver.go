@@ -313,22 +313,54 @@ type Config struct {
 // New creates a driver attached to the kernel; it observes process deaths
 // to fire death recipients and reclaim reference bookkeeping.
 func New(k *kernel.Kernel, cfg Config) *Driver {
+	return NewReusing(nil, k, cfg)
+}
+
+// NewReusing is New with allocation recycling: prev, when non-nil, must
+// be a retired driver whose device is no longer referenced anywhere.
+// Its node index, block allocators, per-process context maps, log-ring
+// storage and flushed-log index are rewound and reused in place — the
+// fleet slot recycle path mints ~100 stubs per trial, and reusing the
+// slabs turns those into writes over warm memory instead of fresh heap.
+// Passing a prev that is still in use corrupts both devices.
+func NewReusing(prev *Driver, k *kernel.Kernel, cfg Config) *Driver {
 	if cfg.Latency == (LatencyModel{}) {
 		cfg.Latency = DefaultLatency
 	}
 	if cfg.LogCost == (LatencyModel{}) {
 		cfg.LogCost = DefaultLogCost
 	}
-	d := &Driver{
-		k:     k,
-		cfg:   cfg,
-		clock: k.Clock(),
-		// Booting (or cloning) a device mints a node per census service;
-		// presizing skips the append-growth copies on that path.
-		nodes: make([]*node, 0, 128),
-		ctxs:  make(map[kernel.Pid]*procContext),
-		byPid: make(map[kernel.Pid][]int),
-		byUid: make(map[kernel.Uid][]int),
+	var d *Driver
+	if prev != nil {
+		d = prev
+		clear(d.ctxs)
+		clear(d.byPid)
+		clear(d.byUid)
+		*d = Driver{
+			k:        k,
+			cfg:      cfg,
+			clock:    k.Clock(),
+			nodes:    d.nodes[:0],
+			ctxs:     d.ctxs,
+			byPid:    d.byPid,
+			byUid:    d.byUid,
+			nodeSlab: d.nodeSlab[:0],
+			lbSlab:   d.lbSlab[:0],
+			pending:  logRing{buf: d.pending.buf},
+			flushed:  d.flushed[:0],
+		}
+	} else {
+		d = &Driver{
+			k:     k,
+			cfg:   cfg,
+			clock: k.Clock(),
+			// Booting (or cloning) a device mints a node per census service;
+			// presizing skips the append-growth copies on that path.
+			nodes: make([]*node, 0, 128),
+			ctxs:  make(map[kernel.Pid]*procContext),
+			byPid: make(map[kernel.Pid][]int),
+			byUid: make(map[kernel.Uid][]int),
+		}
 	}
 	k.OnKill(func(p *kernel.Process, _ string) { d.onProcessDeath(p) })
 	if reg := cfg.Metrics; reg != nil {

@@ -100,6 +100,44 @@ func (d *Device) Snapshot() {
 // See CloneWithSeed.
 func (d *Device) Clone() (*Device, error) { return d.CloneWithSeed(d.cfg.Seed) }
 
+// Template resolves the sealed clone template for cfg through the same
+// cache Boot uses, booting and sealing one if the shape is new. It
+// returns (nil, nil) when no template is possible — the configuration
+// carries uncacheable hooks, or SetCloneBoot(false) is in effect — in
+// which case callers must fall back to BootFresh. The fleet Slot uses
+// this to pin a template once per worker instead of re-consulting the
+// cache on every trial.
+func Template(cfg Config) (*Device, error) {
+	if cfg.BaselineProcesses == 0 {
+		cfg.BaselineProcesses = DefaultBaselineProcesses
+	}
+	key, cacheable := templateKeyOf(cfg)
+	if !cacheable {
+		return nil, nil
+	}
+	cloneBootMu.Lock()
+	defer cloneBootMu.Unlock()
+	if cloneBootOff {
+		return nil, nil
+	}
+	tmpl := templates[key]
+	if tmpl == nil {
+		var err error
+		tmpl, err = BootFresh(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tmpl.Snapshot()
+		if len(templateOrder) >= maxTemplates {
+			delete(templates, templateOrder[0])
+			templateOrder = templateOrder[1:]
+		}
+		templates[key] = tmpl
+		templateOrder = append(templateOrder, key)
+	}
+	return tmpl, nil
+}
+
 // CloneWithSeed builds a device sharing this (sealed) device's boot
 // state copy-on-write: the process table and every VM's reference tables
 // come from the kernel snapshot, immutable service metadata is shared,
@@ -111,24 +149,66 @@ func (d *Device) Clone() (*Device, error) { return d.CloneWithSeed(d.cfg.Seed) }
 // safe against concurrent clones, so pre-Snapshot templates that fan
 // out across goroutines.
 func (d *Device) CloneWithSeed(seed int64) (*Device, error) {
+	return d.cloneWithSeed(seed, nil)
+}
+
+// cloneWithSeed is CloneWithSeed with allocation recycling: prev, when
+// non-nil, must be a retired clone of this same sealed template whose
+// device is no longer referenced anywhere. Its maps, slabs, journal,
+// kernel and driver storage are rewound and the new device is rebuilt in
+// place through the same boot-order replay as a cold clone, so the
+// result is byte-identical to one — this is the fleet Slot's per-trial
+// reseed path. Passing a prev that is still in use corrupts both
+// devices.
+func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 	if !d.sealed {
 		d.Snapshot()
 	}
-	nd := &Device{cfg: d.cfg}
+	nd := prev
+	if nd != nil {
+		if nd.sealed {
+			return nil, fmt.Errorf("device: recycling a sealed template")
+		}
+		// Harvest the retired clone's storage, rewound in place; the
+		// zeroing assignment below drops everything else.
+		hosts, svcMap, appSvcMap, handleIdx := nd.hosts, nd.services, nd.appServices, nd.handleIndex
+		clear(hosts)
+		clear(svcMap)
+		clear(appSvcMap)
+		clear(handleIdx)
+		nd.journal.Reset()
+		*nd = Device{
+			cfg:         d.cfg,
+			kern:        nd.kern,
+			driver:      nd.driver,
+			perms:       nd.perms,
+			apps:        nd.apps,
+			appReg:      nd.appReg,
+			journal:     nd.journal,
+			hosts:       hosts,
+			services:    svcMap,
+			appServices: appSvcMap,
+			handleIndex: handleIdx,
+			svcSlab:     nd.svcSlab[:0],
+			appSlab:     nd.appSlab[:0],
+			appOrder:    nd.appOrder[:0],
+		}
+	} else {
+		nd = &Device{cfg: d.cfg, journal: trace.New(0)}
+	}
 	nd.cfg.Seed = seed
 	nd.clock = simclock.New()
 	nd.clock.AdvanceTo(d.clock.Now())
 
 	userReboot := nd.cfg.Kernel.OnSystemServerDeath
-	nd.kern = d.kern.Clone(nd.clock, func(reason string) {
+	nd.kern = d.kern.CloneReusing(nd.kern, nd.clock, func(reason string) {
 		if userReboot != nil {
 			userReboot(reason)
 		}
 		nd.restartSystem(reason)
 	})
 	// Kill observers re-register in boot order: journal first, then the
-	// binder driver (inside binder.New).
-	nd.journal = trace.New(0)
+	// binder driver (inside binder.NewReusing).
 	nd.kern.OnKill(func(p *kernel.Process, reason string) {
 		kind := trace.KindKill
 		if reason == "lmk" {
@@ -151,16 +231,26 @@ func (d *Device) CloneWithSeed(seed int64) (*Device, error) {
 	// the driver's instruments on first use, keeping the clone path free
 	// of the ~120 gauge registrations a boot pays eagerly.
 	dcfg.Metrics = nil
-	nd.driver = binder.New(nd.kern, dcfg)
+	nd.driver = binder.NewReusing(nd.driver, nd.kern, dcfg)
 	nd.sm = d.sm.Clone(nd.driver)
 
-	nd.perms = new(permissions.Manager)
+	if nd.perms == nil {
+		nd.perms = new(permissions.Manager)
+	}
 	d.perms.CloneInto(nd.perms)
-	nd.apps = new(apps.Manager)
+	if nd.apps == nil {
+		nd.apps = new(apps.Manager)
+	}
 	d.apps.CloneInto(nd.apps, nd.kern, nd.perms)
-	nd.appReg = apps.NewServiceRegistry(nd.driver)
+	if nd.appReg == nil {
+		nd.appReg = apps.NewServiceRegistry(nd.driver)
+	} else {
+		nd.appReg.ResetFor(nd.driver)
+	}
 
-	nd.hosts = make(map[string]*kernel.Process, len(d.hosts))
+	if nd.hosts == nil {
+		nd.hosts = make(map[string]*kernel.Process, len(d.hosts))
+	}
 	for name, p := range d.hosts {
 		nd.hosts[name] = nd.kern.Process(p.Pid())
 	}
@@ -170,32 +260,44 @@ func (d *Device) CloneWithSeed(seed int64) (*Device, error) {
 	// startSystem walked the catalog — into one slab allocation. The
 	// template's own bookkeeping (svcOrder, Host().Name()) stands in for
 	// the census so the hot path never copies it.
-	nd.services = make(map[string]*services.Service, len(d.services))
-	nd.handleIndex = make(map[binder.Handle]handleEntry, len(d.handleIndex))
+	if nd.services == nil {
+		nd.services = make(map[string]*services.Service, len(d.services))
+		nd.handleIndex = make(map[binder.Handle]handleEntry, len(d.handleIndex))
+	}
 	nd.svcOrder = d.svcOrder
-	svcSlab := make([]services.Service, len(d.svcOrder))
+	if cap(nd.svcSlab) < len(d.svcOrder) {
+		nd.svcSlab = make([]services.Service, len(d.svcOrder))
+	} else {
+		nd.svcSlab = nd.svcSlab[:len(d.svcOrder)]
+	}
 	for i, name := range d.svcOrder {
 		tmpl := d.services[name]
 		if tmpl == nil {
 			return nil, fmt.Errorf("device: clone template missing service %s", name)
 		}
-		svc := &svcSlab[i]
+		svc := &nd.svcSlab[i]
 		tmpl.CloneInto(svc, nd.hosts[tmpl.Host().Name()], nd.driver, nd.clock, nd.perms, seed)
 		nd.services[name] = svc
 		nd.handleIndex[nd.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: name}
 	}
 
 	// App services replay in recorded publish order.
-	nd.appServices = make(map[string]*apps.AppService, len(d.appServices))
-	nd.appOrder = append([]string(nil), d.appOrder...)
-	appSlab := make([]apps.AppService, len(d.appOrder))
+	if nd.appServices == nil {
+		nd.appServices = make(map[string]*apps.AppService, len(d.appServices))
+	}
+	nd.appOrder = append(nd.appOrder, d.appOrder...)
+	if cap(nd.appSlab) < len(d.appOrder) {
+		nd.appSlab = make([]apps.AppService, len(d.appOrder))
+	} else {
+		nd.appSlab = nd.appSlab[:len(d.appOrder)]
+	}
 	for i, name := range d.appOrder {
 		tmpl := d.appServices[name]
 		owner := nd.apps.ByPackage(tmpl.Owner().Package())
 		if owner == nil {
 			return nil, fmt.Errorf("device: clone template missing app %s", tmpl.Owner().Package())
 		}
-		svc := &appSlab[i]
+		svc := &nd.appSlab[i]
 		if err := tmpl.CloneInto(svc, owner, nd.driver, nd.clock, nd.appReg, seed); err != nil {
 			return nil, fmt.Errorf("device: cloning app service %s: %w", name, err)
 		}

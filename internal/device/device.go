@@ -116,6 +116,11 @@ type Device struct {
 	svcOrder    []string
 	appOrder    []string
 	handleIndex map[binder.Handle]handleEntry
+	// svcSlab and appSlab are the clone replay's backing arrays (the
+	// services/appServices maps point into them); a slot recycle rewinds
+	// and refills them in place instead of allocating new slabs.
+	svcSlab []services.Service
+	appSlab []apps.AppService
 
 	// sealed marks the device as an immutable snapshot template (see
 	// Snapshot); it must not run workloads from then on, only clone.
@@ -185,35 +190,13 @@ func (d *Device) invalidateResolve() {
 // fresh boots: the seed only feeds lazily-initialized jitter rngs, which
 // CloneWithSeed re-keys. SetCloneBoot(false) disables the cache.
 func Boot(cfg Config) (*Device, error) {
-	if cfg.BaselineProcesses == 0 {
-		cfg.BaselineProcesses = DefaultBaselineProcesses
+	tmpl, err := Template(cfg)
+	if err != nil {
+		return nil, err
 	}
-	key, cacheable := templateKeyOf(cfg)
-	if !cacheable {
-		return BootFresh(cfg)
-	}
-	cloneBootMu.Lock()
-	if cloneBootOff {
-		cloneBootMu.Unlock()
-		return BootFresh(cfg)
-	}
-	tmpl := templates[key]
 	if tmpl == nil {
-		var err error
-		tmpl, err = BootFresh(cfg)
-		if err != nil {
-			cloneBootMu.Unlock()
-			return nil, err
-		}
-		tmpl.Snapshot()
-		if len(templateOrder) >= maxTemplates {
-			delete(templates, templateOrder[0])
-			templateOrder = templateOrder[1:]
-		}
-		templates[key] = tmpl
-		templateOrder = append(templateOrder, key)
+		return BootFresh(cfg)
 	}
-	cloneBootMu.Unlock()
 	// Every caller — including the one that just paid for the template —
 	// gets a clone; the sealed template never leaves the cache.
 	return tmpl.CloneWithSeed(cfg.Seed)

@@ -1,0 +1,298 @@
+// Streaming aggregation for fleet sweeps. A fleet run never materializes
+// per-device envelopes: each worker folds its chunk's trials into a
+// mergeable Accumulator (integer counters plus fixed-bucket histograms),
+// and the engine merges the per-chunk accumulators in chunk-index order
+// into one Result. Everything is integer arithmetic until the final
+// summary render, so the merged rollup is byte-identical for any worker
+// count and any chunk completion order.
+package fleet
+
+// Trial is one device's outcome, produced by a Workload and folded into
+// an Accumulator. All durations are virtual time in integer milliseconds
+// so aggregation stays order-independent (no float sums).
+type Trial struct {
+	// Infected marks the device as carrying an attacker (rollout wave or
+	// colluder cell); Detected/Recovered describe the defender's first
+	// engagement on it.
+	Infected  bool
+	Detected  bool
+	Recovered bool
+	// FalseAlarm marks a defender engagement on a device with no
+	// attacker.
+	FalseAlarm bool
+	// InnocentKills counts benign packages force-stopped by the
+	// engagement; ColludersCaught counts colluding packages among the
+	// kills.
+	InnocentKills   int
+	ColludersCaught int
+	// DetectMS/RecoverMS are virtual milliseconds from boot to defender
+	// engagement and to completed recovery (engagement + analysis).
+	// Recorded only when Detected/Recovered.
+	DetectMS  int64
+	RecoverMS int64
+	// PeakJGR is system_server's peak global-reference count; Steps is
+	// how many scheduler events the trial ran.
+	PeakJGR int64
+	Steps   int64
+}
+
+// Dist is a fixed-bucket histogram with exact min/max/sum/count. Bounds
+// are upper bucket edges; a value v lands in the first bucket with
+// v <= bound, or the overflow bucket past the last bound. Merging two
+// Dists over the same bounds is exact, which is what lets per-chunk
+// rollups fold into a fleet-wide one without keeping samples.
+type Dist struct {
+	bounds  []int64
+	Count   uint64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets []uint64
+}
+
+func newDist(bounds []int64) *Dist {
+	return &Dist{bounds: bounds, Buckets: make([]uint64, len(bounds)+1)}
+}
+
+// Observe folds one sample into the histogram.
+func (d *Dist) Observe(v int64) {
+	if d.Count == 0 || v < d.Min {
+		d.Min = v
+	}
+	if d.Count == 0 || v > d.Max {
+		d.Max = v
+	}
+	d.Count++
+	d.Sum += v
+	for i, b := range d.bounds {
+		if v <= b {
+			d.Buckets[i]++
+			return
+		}
+	}
+	d.Buckets[len(d.bounds)]++
+}
+
+// Merge folds o into d. Both must share bounds (they always do: dists
+// are only built by newAccumulator).
+func (d *Dist) Merge(o *Dist) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 || o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if d.Count == 0 || o.Max > d.Max {
+		d.Max = o.Max
+	}
+	d.Count += o.Count
+	d.Sum += o.Sum
+	for i, n := range o.Buckets {
+		d.Buckets[i] += n
+	}
+}
+
+// quantile returns the bucket-estimated q-quantile: the upper edge of
+// the first bucket whose cumulative count reaches q·Count, clamped to
+// the exact [Min, Max]. Deterministic, integer-only.
+func (d *Dist) quantile(q float64) int64 {
+	if d.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(d.Count))
+	if rank >= d.Count {
+		rank = d.Count - 1
+	}
+	var cum uint64
+	for i, n := range d.Buckets {
+		cum += n
+		if cum > rank {
+			edge := d.Max
+			if i < len(d.bounds) {
+				edge = d.bounds[i]
+			}
+			if edge > d.Max {
+				edge = d.Max
+			}
+			if edge < d.Min {
+				edge = d.Min
+			}
+			return edge
+		}
+	}
+	return d.Max
+}
+
+// Summary is the JSON rendering of a Dist: exact count/min/max/mean plus
+// bucket-estimated percentiles. Mean is Sum/Count in float, computed
+// from integers at render time, so equal rollups render equal bytes.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// summarize renders the histogram. A zero-count dist renders the zero
+// Summary.
+func (d *Dist) summarize() Summary {
+	if d.Count == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: d.Count,
+		Min:   d.Min,
+		Max:   d.Max,
+		Mean:  float64(d.Sum) / float64(d.Count),
+		P50:   d.quantile(0.50),
+		P90:   d.quantile(0.90),
+		P99:   d.quantile(0.99),
+	}
+}
+
+// Histogram bounds. Milliseconds of virtual time for the defender
+// latencies, reference counts for the JGR peak, event counts for steps.
+var (
+	boundsMS = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500,
+		1_000, 2_000, 5_000, 10_000, 30_000, 60_000, 300_000}
+	boundsJGR = []int64{256, 512, 1_024, 1_536, 2_048, 3_072, 4_096,
+		8_192, 16_384, 32_768, 65_536}
+	boundsSteps = []int64{8, 16, 32, 64, 128, 256, 512, 1_024, 2_048,
+		4_096, 8_192, 16_384, 65_536}
+)
+
+// Accumulator is one worker's running rollup: integer counters plus the
+// four fleet histograms. Bounded memory — its size is independent of how
+// many devices fold into it.
+type Accumulator struct {
+	Devices         int64
+	Infected        int64
+	Detected        int64
+	Recovered       int64
+	FalseAlarms     int64
+	InnocentKills   int64
+	ColludersCaught int64
+
+	DetectMS  *Dist
+	RecoverMS *Dist
+	PeakJGR   *Dist
+	Steps     *Dist
+}
+
+// NewAccumulator returns an empty rollup.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{
+		DetectMS:  newDist(boundsMS),
+		RecoverMS: newDist(boundsMS),
+		PeakJGR:   newDist(boundsJGR),
+		Steps:     newDist(boundsSteps),
+	}
+}
+
+// Add folds one trial in.
+func (a *Accumulator) Add(t Trial) {
+	a.Devices++
+	if t.Infected {
+		a.Infected++
+	}
+	if t.Detected {
+		a.Detected++
+		a.DetectMS.Observe(t.DetectMS)
+	}
+	if t.Recovered {
+		a.Recovered++
+		a.RecoverMS.Observe(t.RecoverMS)
+	}
+	if t.FalseAlarm {
+		a.FalseAlarms++
+	}
+	a.InnocentKills += int64(t.InnocentKills)
+	a.ColludersCaught += int64(t.ColludersCaught)
+	a.PeakJGR.Observe(t.PeakJGR)
+	a.Steps.Observe(t.Steps)
+}
+
+// Merge folds another accumulator in. The engine calls it in chunk-index
+// order; the merge itself is also commutative, so any fold order yields
+// the same rollup.
+func (a *Accumulator) Merge(b *Accumulator) {
+	a.Devices += b.Devices
+	a.Infected += b.Infected
+	a.Detected += b.Detected
+	a.Recovered += b.Recovered
+	a.FalseAlarms += b.FalseAlarms
+	a.InnocentKills += b.InnocentKills
+	a.ColludersCaught += b.ColludersCaught
+	a.DetectMS.Merge(b.DetectMS)
+	a.RecoverMS.Merge(b.RecoverMS)
+	a.PeakJGR.Merge(b.PeakJGR)
+	a.Steps.Merge(b.Steps)
+}
+
+// Result is the fleet-wide rollup — the envelope payload of the fleet-*
+// scenarios. It carries only the run's deterministic identity (devices,
+// seed, chunk size) and aggregates; nothing in it depends on the worker
+// count or the slot recycling mode, which is exactly what the
+// determinism suite asserts.
+type Result struct {
+	Workload  string `json:"workload"`
+	Devices   int    `json:"devices"`
+	ChunkSize int    `json:"chunk_size"`
+	Seed      int64  `json:"seed"`
+
+	Infected        int64 `json:"infected"`
+	Detected        int64 `json:"detected"`
+	Recovered       int64 `json:"recovered"`
+	FalseAlarms     int64 `json:"false_alarms"`
+	InnocentKills   int64 `json:"innocent_kills"`
+	ColludersCaught int64 `json:"colluders_caught"`
+
+	// DetectionRate is Detected/Infected; InnocentKillRate is innocent
+	// kills per defender engagement; FalseAlarmRate is engagements on
+	// clean devices over clean devices.
+	DetectionRate    float64 `json:"detection_rate"`
+	InnocentKillRate float64 `json:"innocent_kill_rate"`
+	FalseAlarmRate   float64 `json:"false_alarm_rate"`
+
+	TimeToDetectMS  Summary `json:"time_to_detect_ms"`
+	TimeToRecoverMS Summary `json:"time_to_recover_ms"`
+	PeakJGR         Summary `json:"peak_jgr"`
+	Steps           Summary `json:"steps"`
+}
+
+// FleetDevices reports the fleet width for the envelope's fleet_devices
+// field (scenario.Execute sniffs this interface).
+func (r *Result) FleetDevices() int { return r.Devices }
+
+// result renders the merged accumulator.
+func (a *Accumulator) result(workload string, devices, chunkSize int, seed int64) *Result {
+	r := &Result{
+		Workload:        workload,
+		Devices:         devices,
+		ChunkSize:       chunkSize,
+		Seed:            seed,
+		Infected:        a.Infected,
+		Detected:        a.Detected,
+		Recovered:       a.Recovered,
+		FalseAlarms:     a.FalseAlarms,
+		InnocentKills:   a.InnocentKills,
+		ColludersCaught: a.ColludersCaught,
+		TimeToDetectMS:  a.DetectMS.summarize(),
+		TimeToRecoverMS: a.RecoverMS.summarize(),
+		PeakJGR:         a.PeakJGR.summarize(),
+		Steps:           a.Steps.summarize(),
+	}
+	if a.Infected > 0 {
+		r.DetectionRate = float64(a.Detected) / float64(a.Infected)
+	}
+	if engagements := a.Detected + a.FalseAlarms; engagements > 0 {
+		r.InnocentKillRate = float64(a.InnocentKills) / float64(engagements)
+	}
+	if clean := a.Devices - a.Infected; clean > 0 {
+		r.FalseAlarmRate = float64(a.FalseAlarms) / float64(clean)
+	}
+	return r
+}

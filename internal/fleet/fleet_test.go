@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// resultBytes canonicalizes a fleet result for equality checks.
+func resultBytes(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+func runFleet(t *testing.T, cfg Config, w Workload) *Result {
+	t.Helper()
+	r, err := Run(context.Background(), cfg, w)
+	if err != nil {
+		t.Fatalf("fleet run (%s, workers=%d, mode=%s): %v", w.Name, cfg.Workers, cfg.Mode, err)
+	}
+	return r
+}
+
+// TestFleetBaselineDeterminism is the engine's core guarantee: the same
+// fleet seed yields byte-identical rollups for any worker count and for
+// recycled, cloned-per-device, and freshly-booted slots.
+func TestFleetBaselineDeterminism(t *testing.T) {
+	cfg := Config{Devices: 192, Workers: 1, Seed: 42, ChunkSize: 16}
+	want := resultBytes(t, runFleet(t, cfg, BaselineProbe()))
+	for _, workers := range []int{4, 16} {
+		c := cfg
+		c.Workers = workers
+		if got := resultBytes(t, runFleet(t, c, BaselineProbe())); got != want {
+			t.Errorf("workers=%d rollup differs:\n got %s\nwant %s", workers, got, want)
+		}
+	}
+	for _, mode := range []Mode{ModeClone, ModeFresh} {
+		c := cfg
+		c.Workers = 4
+		c.Mode = mode
+		if got := resultBytes(t, runFleet(t, c, BaselineProbe())); got != want {
+			t.Errorf("mode=%s rollup differs:\n got %s\nwant %s", mode, got, want)
+		}
+	}
+	// Chunk size is part of the run's identity (it is recorded in the
+	// result), but the aggregates it folds must match any chunking.
+	c := cfg
+	c.ChunkSize = 7
+	odd := runFleet(t, c, BaselineProbe())
+	odd.ChunkSize = cfg.ChunkSize
+	if got := resultBytes(t, odd); got != want {
+		t.Errorf("chunk=7 aggregates differ:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFleetAttackRolloutDeterminism runs the defender-bearing workload
+// across worker counts and slot modes — the recycled-slot result must be
+// byte-identical to clone-per-device.
+func TestFleetAttackRolloutDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defender fleet sweep is slow; skipping under -short")
+	}
+	devices := 64
+	w := AttackRollout(devices)
+	cfg := Config{Devices: devices, Workers: 1, Seed: 7, ChunkSize: 8}
+	want := resultBytes(t, runFleet(t, cfg, w))
+	c := cfg
+	c.Workers = 4
+	if got := resultBytes(t, runFleet(t, c, w)); got != want {
+		t.Errorf("workers=4 rollup differs:\n got %s\nwant %s", got, want)
+	}
+	c = cfg
+	c.Workers = 4
+	c.Mode = ModeClone
+	if got := resultBytes(t, runFleet(t, c, w)); got != want {
+		t.Errorf("mode=clone rollup differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestFleetAttackRolloutDetects sanity-checks the rollout physics: the
+// ramp infects a growing share of the fleet, the quick-scale defender
+// catches essentially all of them, and detection timing lands in the
+// histograms.
+func TestFleetAttackRolloutDetects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defender fleet sweep is slow; skipping under -short")
+	}
+	devices := 64
+	r := runFleet(t, Config{Devices: devices, Seed: 7, ChunkSize: 8}, AttackRollout(devices))
+	if r.Infected == 0 || r.Infected == int64(devices) {
+		t.Fatalf("rollout ramp degenerate: %d/%d infected", r.Infected, devices)
+	}
+	if r.DetectionRate < 0.95 {
+		t.Errorf("detection rate %.2f; want >= 0.95 (detected %d of %d)",
+			r.DetectionRate, r.Detected, r.Infected)
+	}
+	if r.TimeToDetectMS.Count != uint64(r.Detected) || r.TimeToDetectMS.Max == 0 {
+		t.Errorf("detect histogram not populated: %+v", r.TimeToDetectMS)
+	}
+}
+
+// TestFleetColludersAttribution checks the colluder cells are engaged
+// and the kill split distinguishes colluders from bystanders.
+func TestFleetColludersAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defender fleet sweep is slow; skipping under -short")
+	}
+	r := runFleet(t, Config{Devices: 48, Seed: 11, ChunkSize: 8}, Colluders())
+	if r.Infected == 0 {
+		t.Fatal("no colluder cells in 48 devices")
+	}
+	if r.Detected == 0 {
+		t.Fatalf("no colluder cell engaged the defender: %+v", r)
+	}
+	if r.ColludersCaught == 0 {
+		t.Errorf("engagements killed no colluders: %+v", r)
+	}
+}
+
+// TestFleetErrors covers the engine's argument validation.
+func TestFleetErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}, BaselineProbe()); err == nil {
+		t.Error("Devices=0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{Devices: 1}, Workload{Name: "x"}); err == nil {
+		t.Error("nil Run accepted")
+	}
+}
+
+// TestFleetCancellation stops a sweep via the caller's context.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Devices: 64, Workers: 2}, BaselineProbe()); err == nil {
+		t.Error("cancelled fleet run returned no error")
+	}
+}
+
+// TestDeviceSeedDerivation pins the splitmix64 derivation: distinct per
+// index, worker-independent, and stable across releases (rollups depend
+// on it).
+func TestDeviceSeedDerivation(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 4096; i++ {
+		s := DeviceSeed(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: indices %d and %d both derive %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if DeviceSeed(42, 0) == DeviceSeed(43, 0) {
+		t.Error("fleet seed does not influence device seeds")
+	}
+	// Golden values: changing the derivation silently changes every
+	// fleet rollup, so it must be deliberate.
+	if got, want := DeviceSeed(42, 0), int64(-4767286540954276203); got != want {
+		t.Errorf("DeviceSeed(42,0) = %d, want %d", got, want)
+	}
+}
+
+// TestAccumulatorMergeRace exercises concurrent Add into per-worker
+// accumulators plus merges into a mutex-guarded total — the engine's
+// aggregation shape — under the race detector.
+func TestAccumulatorMergeRace(t *testing.T) {
+	total := NewAccumulator()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			acc := NewAccumulator()
+			for i := 0; i < 1000; i++ {
+				acc.Add(Trial{
+					Infected: i%2 == 0, Detected: i%4 == 0, Recovered: i%8 == 0,
+					DetectMS: int64(i), RecoverMS: int64(2 * i),
+					PeakJGR: int64(1000 + i), Steps: int64(g*1000 + i),
+				})
+			}
+			mu.Lock()
+			total.Merge(acc)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if total.Devices != 8000 {
+		t.Fatalf("merged %d devices, want 8000", total.Devices)
+	}
+	if total.PeakJGR.Count != 8000 || total.Steps.Count != 8000 {
+		t.Fatalf("histogram counts %d/%d, want 8000", total.PeakJGR.Count, total.Steps.Count)
+	}
+}
+
+// TestDistQuantiles pins the bucket-estimated percentiles on a known
+// shape.
+func TestDistQuantiles(t *testing.T) {
+	d := newDist([]int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := int64(1); v <= 100; v++ {
+		d.Observe(v)
+	}
+	s := d.summarize()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean %v, want 50.5", s.Mean)
+	}
+	// The estimate is the upper edge of the bucket covering the rank:
+	// the 51st value (51) lands in (50, 60].
+	if s.P50 != 60 {
+		t.Errorf("p50 %d, want bucket edge 60", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Errorf("p99 %d, want 100", s.P99)
+	}
+	// Outliers past the last bound land in the overflow bucket and clamp
+	// to the exact max.
+	d.Observe(100000)
+	if got := d.quantile(0.999); got != 100000 {
+		t.Errorf("overflow quantile %d, want 100000", got)
+	}
+}
+
+// benchFleet prices one fleet sweep per iteration at the given mode.
+func benchFleet(b *testing.B, mode Mode, devices int) {
+	cfg := Config{Devices: devices, Workers: 1, Seed: 42, Mode: mode}
+	w := BaselineProbe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(context.Background(), cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Devices != devices {
+			b.Fatalf("ran %d devices, want %d", r.Devices, devices)
+		}
+	}
+	b.StopTimer()
+	devSec := float64(devices) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(devSec, "devices/sec")
+}
+
+func BenchmarkFleet(b *testing.B) {
+	const devices = 256
+	b.Run("recycle", func(b *testing.B) { benchFleet(b, ModeRecycle, devices) })
+	b.Run("clone", func(b *testing.B) { benchFleet(b, ModeClone, devices) })
+	b.Run("fresh", func(b *testing.B) { benchFleet(b, ModeFresh, devices) })
+}

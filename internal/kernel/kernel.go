@@ -209,6 +209,22 @@ func (k *Kernel) Seal() {
 // must be re-registered by the layers above, in the same order as at
 // boot. Cloning an unsealed kernel, or re-cloning a clone, panics.
 func (k *Kernel) Clone(clock *simclock.Clock, onSystemServerDeath func(reason string)) *Kernel {
+	return k.CloneReusing(nil, clock, onSystemServerDeath)
+}
+
+// CloneReusing is Clone with allocation recycling: prev, when non-nil,
+// must be a retired clone of this same sealed template whose device is
+// no longer referenced anywhere. Its overlay process table, procfs and
+// kill-observer slice are rewound and reused in place — materialized
+// processes that shadow a frozen pid are reset to frozen state, keeping
+// their Process and VM storage (valid because the kernel pointer, and
+// hence every closure bound to it, stays the same across the rewind);
+// processes spawned during the retired trial are dropped. A fleet slot
+// that churns through thousands of per-trial devices thus stops paying
+// the clone path's map, filesystem and materialization allocations after
+// the first trial. Passing a prev that is still in use corrupts both
+// devices.
+func (k *Kernel) CloneReusing(prev *Kernel, clock *simclock.Clock, onSystemServerDeath func(reason string)) *Kernel {
 	if !k.sealed {
 		panic("kernel: Clone of unsealed kernel")
 	}
@@ -220,19 +236,68 @@ func (k *Kernel) Clone(clock *simclock.Clock, onSystemServerDeath func(reason st
 	}
 	cfg := k.cfg
 	cfg.OnSystemServerDeath = onSystemServerDeath
-	nk := &Kernel{
+	var nk *Kernel
+	var procs map[Pid]*Process
+	var procfs *ProcFS
+	var onKill []func(*Process, string)
+	if prev != nil {
+		if prev.frozen == nil {
+			panic("kernel: CloneReusing prev is not a clone")
+		}
+		nk, procs, procfs, onKill = prev, prev.procs, prev.procfs, prev.onKill[:0]
+		procfs.Reset()
+	} else {
+		nk = &Kernel{}
+		procs = make(map[Pid]*Process)
+		procfs = NewProcFS()
+	}
+	*nk = Kernel{
 		clock:       clock,
 		cfg:         cfg,
 		nextPid:     k.nextPid,
-		procs:       make(map[Pid]*Process),
+		procs:       procs,
 		frozen:      k.procs,
-		procfs:      NewProcFS(),
+		procfs:      procfs,
 		softReboots: k.softReboots,
 		lmkKills:    k.lmkKills,
 		running:     k.running,
+		onKill:      onKill,
+	}
+	for pid, p := range procs {
+		fp, ok := k.procs[pid]
+		if !ok {
+			// Spawned during the retired trial; not part of the template.
+			delete(procs, pid)
+			continue
+		}
+		p.resetFromFrozen(fp, nk)
 	}
 	k.procfs.CloneInto(nk.procfs)
 	return nk
+}
+
+// resetFromFrozen rewinds a materialized clone process to its frozen
+// template state in place, keeping its Process and VM storage. The
+// identity-bound pieces — the kernel-reaper abort wrapper on the VM and
+// the pid — are unchanged by construction: pid and the kernel pointer
+// are the same before and after a kernel rewind.
+func (p *Process) resetFromFrozen(fp *Process, k *Kernel) {
+	vm := p.vm
+	*p = Process{
+		pid:         fp.pid,
+		uid:         fp.uid,
+		name:        fp.name,
+		oomScoreAdj: fp.oomScoreAdj,
+		memoryKB:    fp.memoryKB,
+		startedAt:   fp.startedAt,
+		alive:       fp.alive,
+		exitReason:  fp.exitReason,
+		vm:          vm,
+		deathFns:    p.deathFns[:0],
+		k:           k,
+		userAbort:   fp.userAbort,
+	}
+	vm.ResetFromTemplate(fp.vm, k.clock)
 }
 
 // lookup returns the process for pid from the clone overlay or the

@@ -45,6 +45,15 @@ func NewProcFS() *ProcFS {
 	return &ProcFS{files: make(map[string]*procFile)}
 }
 
+// Reset empties the filesystem in place, keeping the path map's
+// storage. The fleet slot recycle path rewinds a retired clone's procfs
+// before the template's data files are copied back in.
+func (fs *ProcFS) Reset() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clear(fs.files)
+}
+
 // CloneInto copies the receiver's data files into dst. Provider-backed
 // files are deliberately NOT carried over: their render closures are
 // bound to the template's producers (metrics registry, log ring), and

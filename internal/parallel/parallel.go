@@ -125,26 +125,47 @@ func Map[T, R any](ctx context.Context, items []T, workers int, fn func(ctx cont
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	// Workers claim fixed-length runs of adjacent shards instead of single
+	// items: one atomic claim amortizes across the run and adjacent shards
+	// write adjacent result slots, which is what makes fine-grained sweeps
+	// (hundreds of sub-millisecond shards) profitable to parallelize at
+	// all. Results are position-addressed, so the chunk size can never
+	// influence the output — only who computes it.
+	chunk := len(items) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > 64 {
+		chunk = 64
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) || ctx.Err() != nil {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= len(items) || ctx.Err() != nil {
 					return
 				}
-				m.queued.Add(-1)
-				r, err := run(ctx, m, i, items[i], fn)
-				if err != nil {
-					errs[i] = err
-					m.errors.Inc()
-					if failed.CompareAndSwap(false, true) {
-						m.cancellations.Inc()
-					}
-					cancel() // fail fast: stop handing out shards
-					continue
+				end := start + chunk
+				if end > len(items) {
+					end = len(items)
 				}
-				results[i] = r
+				for i := start; i < end; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					m.queued.Add(-1)
+					r, err := run(ctx, m, i, items[i], fn)
+					if err != nil {
+						errs[i] = err
+						m.errors.Inc()
+						if failed.CompareAndSwap(false, true) {
+							m.cancellations.Inc()
+						}
+						cancel() // fail fast: stop handing out shards
+						return
+					}
+					results[i] = r
+				}
 			}
 		}()
 	}

@@ -137,3 +137,72 @@ func TestDefaultWorkersPositive(t *testing.T) {
 		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
 	}
 }
+
+// TestMapChunkedEquivalence pins the chunked claiming path: for item
+// counts that exercise partial tail chunks and worker counts above and
+// below the chunk divisor, every item must be processed exactly once and
+// the result slice must be byte-identical to the workers=1 run.
+func TestMapChunkedEquivalence(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 257, 1000} {
+		items := make([]int64, n)
+		for i := range items {
+			items[i] = int64(i)*2654435761 + 12345
+		}
+		shard := func(_ context.Context, idx int, item int64) (string, error) {
+			// A value depending on both index and item content, so any
+			// misrouted shard shows up as a mismatch, not a coincidence.
+			v := item ^ int64(idx)<<32
+			return strings.Repeat("x", idx%3) + "|" + time.Duration(v).String(), nil
+		}
+		want, err := Map(context.Background(), items, 1, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16, 200} {
+			seen := make([]atomic.Int32, n)
+			got, err := Map(context.Background(), items, workers, func(ctx context.Context, idx int, item int64) (string, error) {
+				seen[idx].Add(1)
+				return shard(ctx, idx, item)
+			})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: result[%d] = %q, want %q", n, workers, i, got[i], want[i])
+				}
+			}
+			for i := range seen {
+				if c := seen[i].Load(); c != 1 {
+					t.Fatalf("n=%d workers=%d: item %d processed %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestMapChunkedFailFast: an error inside a chunk must stop the sweep,
+// surface the lowest-indexed failure, and not run the failing worker's
+// remaining chunk items.
+func TestMapChunkedFailFast(t *testing.T) {
+	items := make([]int, 512)
+	var after atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), items, 4, func(_ context.Context, idx int, _ int) (int, error) {
+		if idx == 100 {
+			return 0, boom
+		}
+		if idx > 100 {
+			after.Add(1)
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Everything after the failing shard in its own chunk must be skipped;
+	// other workers may legitimately have been mid-chunk.
+	if after.Load() >= 512-100 {
+		t.Fatalf("fail-fast did not stop the sweep (%d later shards ran)", after.Load())
+	}
+}

@@ -101,14 +101,19 @@ func (m *Manager) Freeze() { m.levelsShared = true }
 // CloneInto populates dst as a copy of a frozen manager: the (static)
 // definition map is shared copy-on-write, grants are deep-copied. The
 // receiver must have been Frozen first, so concurrent clones never
-// write template state.
+// write template state. A dst carrying grant maps from a retired clone
+// (the fleet slot recycle path) has them rewound and reused in place.
 func (m *Manager) CloneInto(dst *Manager) {
 	if !m.levelsShared {
 		panic("permissions: CloneInto before Freeze")
 	}
 	dst.levels = m.levels
 	dst.levelsShared = true
-	dst.grants = make(map[kernel.Uid]map[Permission]bool, len(m.grants))
+	if dst.grants == nil {
+		dst.grants = make(map[kernel.Uid]map[Permission]bool, len(m.grants))
+	} else {
+		clear(dst.grants)
+	}
 	for uid, g := range m.grants {
 		ng := make(map[Permission]bool, len(g))
 		for p, v := range g {

@@ -154,8 +154,12 @@ type Envelope struct {
 	Seed     int64    `json:"seed,omitempty"`
 	Filter   []string `json:"filter,omitempty"`
 	Workers  int      `json:"workers"`
-	WallMS   float64  `json:"wall_ms"`
-	Result   any      `json:"result"`
+	// FleetDevices is the fleet width of a fleet scenario's sweep (how
+	// many devices the rollup folded), sniffed from the result via the
+	// FleetDevices() interface. Zero for non-fleet scenarios.
+	FleetDevices int     `json:"fleet_devices,omitempty"`
+	WallMS       float64 `json:"wall_ms"`
+	Result       any     `json:"result"`
 	// Telemetry is the process-global metrics snapshot taken after the
 	// run when Params.Metrics was set (series name → value).
 	Telemetry map[string]float64 `json:"telemetry,omitempty"`
@@ -177,6 +181,9 @@ func (s Scenario) Execute(ctx context.Context, p Params) (*Envelope, error) {
 		Workers:  p.Workers,
 		WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		Result:   res,
+	}
+	if fd, ok := res.(interface{ FleetDevices() int }); ok {
+		env.FleetDevices = fd.FleetDevices()
 	}
 	if p.Metrics {
 		env.Telemetry = telemetry.Global().Snapshot()

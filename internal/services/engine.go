@@ -21,6 +21,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/permissions"
 	"repro/internal/simclock"
+	"repro/internal/xrand"
 )
 
 // Errors returned to callers through failed transactions.
@@ -138,9 +139,14 @@ type Service struct {
 	rngSeed int64
 	seedMix int64
 
-	stub    *binder.LocalBinder
-	methods map[binder.TxCode]*method
-	codes   map[string]binder.TxCode
+	stub *binder.LocalBinder
+	// transactor caches the dispatch closure handed to the driver. It
+	// binds only the Service pointer, which is stable for a slab entry,
+	// so a recycled clone (CloneInto onto the same dst) reuses it instead
+	// of allocating one closure per service per trial.
+	transactor binder.Transactor
+	methods    map[binder.TxCode]*method
+	codes      map[string]binder.TxCode
 
 	// entries holds retained registrations per catalogued method name.
 	entries map[string][]*entry
@@ -196,7 +202,8 @@ func New(cfg Config, sm *binder.ServiceManager) (*Service, error) {
 	}
 	s.quota = cfg.UniversalQuota
 	s.buildMethodTable(cfg.Ifaces)
-	s.stub = cfg.Driver.NewLocalBinder(cfg.Host, cfg.Meta.Class, binder.TransactorFunc(s.onTransact))
+	s.transactor = binder.TransactorFunc(s.onTransact)
+	s.stub = cfg.Driver.NewLocalBinder(cfg.Host, cfg.Meta.Class, s.transactor)
 	if err := sm.AddService(cfg.Meta.Name, s.stub); err != nil {
 		return nil, err
 	}
@@ -234,7 +241,7 @@ func (s *Service) buildMethodTable(ifaces []catalog.Interface) {
 // invisible to byte-identity.
 func (s *Service) rand() *rand.Rand {
 	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(s.rngSeed))
+		s.rng = xrand.New(s.rngSeed)
 	}
 	return s.rng
 }
@@ -248,6 +255,7 @@ func (s *Service) rand() *rand.Rand {
 // driver node in boot order; no ServiceManager registration runs — the
 // clone's registry resolves names through the shared frozen table.
 func (s *Service) CloneInto(dst *Service, host *kernel.Process, driver *binder.Driver, clock *simclock.Clock, perms *permissions.Manager, seed int64) {
+	tr := dst.transactor
 	*dst = Service{
 		meta:    s.meta,
 		host:    host,
@@ -262,7 +270,11 @@ func (s *Service) CloneInto(dst *Service, host *kernel.Process, driver *binder.D
 		objSeq:  s.objSeq,
 		quota:   s.quota,
 	}
-	dst.stub = driver.NewLocalBinder(host, s.meta.Class, binder.TransactorFunc(dst.onTransact))
+	if tr == nil {
+		tr = binder.TransactorFunc(dst.onTransact)
+	}
+	dst.transactor = tr
+	dst.stub = driver.NewLocalBinder(host, s.meta.Class, tr)
 }
 
 // Name returns the ServiceManager name.

@@ -84,6 +84,14 @@ func New(capacity int) *Journal {
 	return &Journal{cap: capacity}
 }
 
+// Reset empties the journal in place, keeping its event storage — the
+// fleet slot recycle path rewinds a retired device's journal instead of
+// allocating a fresh one per trial.
+func (j *Journal) Reset() {
+	j.events = j.events[:0]
+	j.dropped = 0
+}
+
 // Record appends an event, evicting the oldest entry when full.
 func (j *Journal) Record(ev Event) {
 	if len(j.events) == j.cap {

@@ -1,0 +1,46 @@
+// Package xrand provides a splitmix64-backed math/rand source for the
+// simulator's jitter draws. math/rand's default rngSource seeds a
+// 607-word feedback register (~10 µs) — fine for a long-lived generator,
+// but the engine lazily seeds one generator per touched service per
+// cloned device, and at fleet turnaround rates the seeding dwarfed the
+// draws. A splitmix64 state seeds in one store and passes the usual
+// avalanche tests; the simulator needs deterministic, well-mixed jitter,
+// not cryptographic quality.
+package xrand
+
+import "math/rand"
+
+// Source is a rand.Source64 over a splitmix64 sequence.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// New returns a *rand.Rand drawing from a splitmix64 source — a drop-in
+// for rand.New(rand.NewSource(seed)) with O(1) seeding.
+func New(seed int64) *rand.Rand {
+	return rand.New(NewSource(seed))
+}
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64: one splitmix64 step.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
