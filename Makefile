@@ -19,25 +19,29 @@ vet:
 # The parallel engine and its consumers must stay race-clean: the fan-out
 # pool, the converted experiment sweeps, the pipeline's parallel
 # dynamic-verification stage, the scenario registry that drives them, the
-# fault-injected defense/binder/faults telemetry path, plus the event
+# fault-injected defense/binder/faults telemetry path, the event
 # queue and the device snapshot/clone layer every concurrent shard now
-# boots through.
+# boots through, plus the tracing-enabled paths (binder span emission,
+# art JGR hooks, defender causal spans, the recorder/exporter) and the
+# traced-fleet capture that runs them across worker goroutines.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device ./internal/chaos ./internal/fleet
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/analysis ./internal/scenario ./internal/defense ./internal/binder ./internal/faults ./internal/event ./internal/device ./internal/chaos ./internal/fleet ./internal/art ./internal/trace ./cmd/jgre-trace
 
 # Coverage-guided fuzzing smoke: the kernel log-record parser (the one
 # spot where the defender consumes a wire format), the differential pin
 # of the streaming correlator against the retained segment-tree
 # reference implementation, the event queue's ordering invariant
 # (virtual time, then priority, then sequence) under arbitrary
-# push/pop interleavings, and the defender checkpoint codec (decode
+# push/pop interleavings, the defender checkpoint codec (decode
 # never panics on arbitrary bytes; any accepted input re-encodes
-# byte-identically).
+# byte-identically), and the Chrome trace-event exporter (never panics
+# on arbitrary span records, always emits schema-valid JSON).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseIPCRecord -fuzztime=10s -run '^$$' ./internal/binder
 	$(GO) test -fuzz=FuzzCorrelatorDifferential -fuzztime=5s -run '^$$' ./internal/defense
 	$(GO) test -fuzz=FuzzEventQueue -fuzztime=5s -run '^$$' ./internal/event
 	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=5s -run '^$$' ./internal/defense
+	$(GO) test -fuzz=FuzzTraceExport -fuzztime=5s -run '^$$' ./internal/trace
 
 # Regenerate the sequential-vs-parallel sweep timings (BENCH_parallel.json).
 bench-json:
@@ -81,6 +85,14 @@ bench-smoke:
 			if (ratio < 50) { printf "bench-smoke: clone is only %.1fx faster than boot (want >= 50x)\n", ratio; exit 1 } \
 			printf "bench-smoke: device clone %.1fx faster than boot\n", ratio }' \
 		/tmp/jgre-clone-smoke.out
+	$(GO) test -bench='^BenchmarkTransactLogged$$' -benchtime=2000x -run '^$$' ./internal/binder \
+		| tee /tmp/jgre-hotpath-smoke.out
+	@awk '/^BenchmarkTransactLogged\/unbounded/ { ub = $$3 + 0 } /^BenchmarkTransactLogged\/ring-flood/ { rf = $$3 + 0 } \
+		END { if (!ub || !rf) { print "bench-smoke: hot-path benchmarks did not run"; exit 1 } \
+			if (ub > 2214) { printf "bench-smoke: tracing-off unbounded hot path %d ns/op exceeds 2214 (5%% over the 2109 BENCH_hotpath.json baseline)\n", ub; exit 1 } \
+			if (rf > 2640) { printf "bench-smoke: tracing-off ring-flood hot path %d ns/op exceeds 2640 (5%% over the 2514 BENCH_hotpath.json baseline)\n", rf; exit 1 } \
+			printf "bench-smoke: tracing-off hot path %d / %d ns/op (gates 2214 / 2640)\n", ub, rf }' \
+		/tmp/jgre-hotpath-smoke.out
 	$(GO) test -bench='^BenchmarkFleet$$' -benchtime=2x -run '^$$' ./internal/fleet \
 		| tee /tmp/jgre-fleet-smoke.out
 	@awk '/^BenchmarkFleet\/recycle/ { for (i = 1; i <= NF; i++) if ($$i == "devices/sec") rec = $$(i-1) + 0 } \
@@ -97,7 +109,9 @@ bench-smoke:
 # supervisor gate every recovery claim the chaos-* scenarios make, so
 # their fault-schedule and backoff paths stay at >= 75%; likewise the
 # fleet engine's chunking/merge/slot-mode paths back every fleet-*
-# rollup, so internal/fleet holds >= 75%.
+# rollup, so internal/fleet holds >= 75%. The trace package (recorder
+# ring, ID minting, Chrome exporter) backs every byte-identity claim the
+# tracing layer makes, so it holds >= 80%.
 cover:
 	$(GO) test -cover -coverprofile=/tmp/jgre-telemetry.cover ./internal/telemetry
 	@total=$$($(GO) tool cover -func=/tmp/jgre-telemetry.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
@@ -114,5 +128,10 @@ cover:
 		echo "internal/fleet coverage: $$total%"; \
 		awk -v t="$$total" 'BEGIN { exit (t >= 75.0) ? 0 : 1 }' \
 		|| { echo "cover: internal/fleet coverage $$total% below 75% floor"; exit 1; }
+	$(GO) test -cover -coverprofile=/tmp/jgre-trace.cover ./internal/trace
+	@total=$$($(GO) tool cover -func=/tmp/jgre-trace.cover | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "internal/trace coverage: $$total%"; \
+		awk -v t="$$total" 'BEGIN { exit (t >= 80.0) ? 0 : 1 }' \
+		|| { echo "cover: internal/trace coverage $$total% below 80% floor"; exit 1; }
 
 ci: vet build test race fuzz-smoke bench-smoke cover

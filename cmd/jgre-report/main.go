@@ -6,6 +6,7 @@
 // Usage:
 //
 //	jgre-report [-o report.md] [-thirdparty n] [-calls n] [-ablations]
+//	            [-trace] [-trace-fleet n]
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"repro/internal/defense"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -32,6 +35,8 @@ func main() {
 	thirdParty := flag.Int("thirdparty", 1000, "synthetic Google Play population size")
 	calls := flag.Int("calls", 200, "invocations per candidate during verification")
 	ablations := flag.Bool("ablations", false, "also run and include the threshold/quota ablation tables (slower)")
+	traceOn := flag.Bool("trace", false, "run the demo device with the causal flight recorder on and include a traced-fleet forensic rollup")
+	traceFleet := flag.Int("trace-fleet", 96, "with -trace: fleet width for the causal forensic rollup")
 	flag.Parse()
 
 	res, err := core.Audit(core.AuditConfig{
@@ -44,8 +49,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A defense demonstration for the report: one detection.
-	pd, err := core.NewProtectedDevice(device.Config{Seed: 2}, defense.Config{})
+	// A defense demonstration for the report: one detection. With -trace
+	// the demo device carries a flight recorder, so the telemetry section
+	// gains the recorder health rows.
+	devCfg := device.Config{Seed: 2}
+	if *traceOn {
+		devCfg.Trace = trace.Config{Enabled: true}
+	}
+	pd, err := core.NewProtectedDevice(devCfg, defense.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +94,19 @@ func main() {
 		Detections:  pd.Defender.History(),
 		Telemetry:   &stats,
 		GeneratedAt: fmt.Sprintf("virtual t=%.1fs after audit-device boot", pd.Device.Clock().Now().Seconds()),
+	}
+	if *traceOn {
+		// Traced fleet: the staged attack rollout with flight recorders
+		// on, folded into the causal forensic rollup.
+		res, err := fleet.Run(context.Background(), fleet.Config{
+			Devices: *traceFleet,
+			Seed:    1042,
+			Device:  device.Config{Trace: trace.Config{Enabled: true}},
+		}, fleet.AttackRollout(*traceFleet))
+		if err != nil {
+			log.Fatal(err)
+		}
+		in.FleetForensics = res
 	}
 	if *ablations {
 		thr, err := scenario.Execute(context.Background(), "thresholds", scenario.Params{})

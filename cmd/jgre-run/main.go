@@ -23,8 +23,10 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/internal/device"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -48,6 +50,8 @@ func main() {
 	filter := fs.String("filter", "", "comma-separated sweep targets (scenario-specific; empty = all)")
 	asJSON := fs.Bool("json", false, "emit the shared result envelope as JSON")
 	metricsJSON := fs.Bool("metrics-json", false, "attach a telemetry snapshot (worker/pool counters) to the JSON envelope")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event JSON file of every device's causal spans (forces flight recorders on)")
+	traceSample := fs.Uint64("trace-sample", 1, "with -trace-out: trace one in every n transactions")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -84,9 +88,31 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" {
+		// Capture mode: every device the scenario boots (or recycles) gets
+		// a flight recorder; spans are harvested as slots retire and
+		// drained after the run. Tracing never advances the virtual clock,
+		// so the envelope is unchanged.
+		device.StartTraceCapture(trace.Config{Sample: *traceSample}, 0)
+	}
+
 	env, err := s.Execute(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		spans, names, dropped := device.CollectCapturedTraces()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.ExportChrome(f, spans, names); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "jgre-run: wrote %d spans to %s (%d dropped)\n", len(spans), *traceOut, dropped)
 	}
 	if *asJSON {
 		out, err := env.JSON()
@@ -133,5 +159,6 @@ func list() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   jgre-run list
-  jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n] [-filter a,b] [-json] [-metrics-json]`)
+  jgre-run <scenario> [-scale quick|full] [-parallel n] [-seed n] [-filter a,b] [-json] [-metrics-json]
+           [-trace-out file.json] [-trace-sample n]`)
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/metrics/ascii"
 	"repro/internal/services"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -49,14 +50,16 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Minute, "virtual time to simulate")
 	width := flag.Int("width", 60, "sparkline width in cells")
 	fleetDevices := flag.Int("fleet-devices", 512, "fleet width for -scenario fleet")
+	traceF := flag.Bool("trace", false, "turn the causal flight recorder on (populates the TRACE panel)")
 	flag.Parse()
 
+	tcfg := trace.Config{Enabled: *traceF}
 	if *scenarioF == "fleet" {
-		runFleet(*fleetDevices)
+		runFleet(*fleetDevices, tcfg)
 		return
 	}
 
-	dev, err := device.Boot(device.Config{Seed: 4})
+	dev, err := device.Boot(device.Config{Seed: 4, Trace: tcfg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,11 +155,12 @@ func main() {
 // runFleet drives the fleet engine's baseline and attack-rollout sweeps
 // and renders the FLEET panel from the engine's process-global counters
 // plus each sweep's rollup.
-func runFleet(devices int) {
+func runFleet(devices int, tcfg trace.Config) {
 	ctx := context.Background()
 	var results []*fleet.Result
 	for _, w := range []fleet.Workload{fleet.BaselineProbe(), fleet.AttackRollout(devices)} {
-		res, err := fleet.Run(ctx, fleet.Config{Devices: devices, Seed: 1042}, w)
+		res, err := fleet.Run(ctx, fleet.Config{Devices: devices, Seed: 1042,
+			Device: device.Config{Trace: tcfg}}, w)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -201,6 +205,17 @@ func renderFleet(w *os.File, results []*fleet.Result) {
 		lat("time-to-recover", r.TimeToRecoverMS)
 		fmt.Fprintf(w, "  %-16s p50 %6d    p90 %6d    p99 %6d    max %6d\n",
 			"peak JGR", r.PeakJGR.P50, r.PeakJGR.P90, r.PeakJGR.P99, r.PeakJGR.Max)
+		// TRACE block: present only when the fleet ran with flight
+		// recorders on; an explicit placeholder otherwise (never a blank).
+		if t := r.Trace; t != nil {
+			fmt.Fprintf(w, "  TRACE trials %d  attributed %d (rate %.3f)  spans dropped %d\n",
+				t.Trials, t.Attributed, t.AttributionRate, t.SpansDropped)
+			lat("attack→evidence", t.AttackToEvidenceMS)
+			lat("evidence→detect", t.EvidenceToDetectMS)
+			lat("attack→detect", t.AttackToDetectMS)
+		} else {
+			fmt.Fprintf(w, "  TRACE (no trace rollup — run with -trace; benign workloads record no causal chain)\n")
+		}
 	}
 }
 
@@ -253,6 +268,22 @@ func render(w *os.File, dev *device.Device, def *defense.Defender, sampler *tele
 			counter("jgre_defender_restores_total"))
 	}
 
+	// TRACE panel: flight-recorder health. The families read zero when
+	// tracing is off; each one is queried through gaugeField, which —
+	// mirroring spark()'s empty-series fix — renders an explicit
+	// placeholder instead of a blank when a family is absent from the
+	// registry entirely.
+	fmt.Fprintf(w, "\nTRACE  spans=%s  evicted=%s  dumps=%s\n",
+		gaugeField(dev, "jgre_trace_spans"),
+		gaugeField(dev, "jgre_trace_span_drops_total"),
+		gaugeField(dev, "jgre_trace_flight_dumps_total"))
+	if dumps := dev.FlightDumps(); len(dumps) > 0 {
+		fmt.Fprintf(w, "flight dumps (last %d):\n", min(len(dumps), 5))
+		for _, d := range dumps[max(0, len(dumps)-5):] {
+			fmt.Fprintf(w, "  %8.1fs %-32s %d spans\n", d.T.Seconds(), d.Reason, len(d.Spans))
+		}
+	}
+
 	if def == nil {
 		return
 	}
@@ -290,6 +321,17 @@ func spark(w *os.File, label string, values []float64, width int) {
 		return
 	}
 	fmt.Fprintf(w, "%-10s %s  now %g\n", label, ascii.Sparkline(values, width), values[len(values)-1])
+}
+
+// gaugeField formats one gauge family's value, or an explicit
+// "(absent)" placeholder when the family was never registered — the
+// same degrade-readably contract spark() applies to empty series.
+func gaugeField(dev *device.Device, name string) string {
+	v, ok := dev.Metrics().Value(name)
+	if !ok {
+		return "(absent)"
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 // histogram fetches an existing histogram handle from the device

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/simclock"
+	"repro/internal/trace"
 )
 
 // MaxGlobalRefs is the hard upper bound on JNI global references per
@@ -320,6 +321,14 @@ type VM struct {
 	abortedReason string
 	onAbort       func(reason string)
 
+	// rec is the device's flight recorder (nil = tracing off). Unlike
+	// JGR hooks — which are append-only and must stay inert through
+	// defender dead-flags — the recorder slot is settable, so the device
+	// layer re-points it across clones and slot recycles. recPid labels
+	// the emitted spans with the owning process.
+	rec    *trace.Recorder
+	recPid int32
+
 	// statistics
 	totalGlobalAdds    uint64
 	totalGlobalRemoves uint64
@@ -410,7 +419,20 @@ func (vm *VM) AddJGRHook(h JGRHook) {
 	vm.hooks = append(vm.hooks, h)
 }
 
+// SetTraceRecorder installs (or, with nil, removes) the flight recorder
+// global-table mutations are mirrored into as point spans, labelled with
+// the owning process's pid. The recorder inherits whatever causal
+// context the binder driver set, which is how a JGR add is attributed to
+// the transaction that caused it.
+func (vm *VM) SetTraceRecorder(r *trace.Recorder, pid int32) {
+	vm.rec = r
+	vm.recPid = pid
+}
+
 func (vm *VM) emit(op RefOp, ref IndirectRef, obj ObjectID) {
+	if vm.rec.Enabled() {
+		vm.rec.EmitJGR(op == OpAdd, vm.clock.Now(), vm.recPid, len(vm.globals.entries))
+	}
 	if len(vm.hooks) == 0 {
 		return
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // LogPath is the procfs file the extended driver writes IPC records to
@@ -282,6 +283,13 @@ type Driver struct {
 	// (nil when Config.Metrics is unset): a fixed-bucket payload-size
 	// histogram, one branch + one atomic-scan observation per call.
 	txBytes *telemetry.Histogram
+
+	// rec is the device's flight recorder (nil = tracing off, the
+	// default). The transact path mints a deterministic trace ID per
+	// sampled transaction and records the transact/dispatch/handler span
+	// chain; the recorder never advances the virtual clock, so a traced
+	// device executes the same trajectory as an untraced one.
+	rec *trace.Recorder
 }
 
 type clockIface interface {
@@ -436,6 +444,15 @@ func (d *Driver) registerMetrics(reg *telemetry.Registry) {
 		func() float64 { _, m := CallPoolStats(); return float64(m) })
 }
 
+// SetRecorder installs (or, with nil, removes) the flight recorder the
+// transact path emits causal spans into. The device layer owns the
+// recorder's lifecycle; NewReusing deliberately clears it so a recycled
+// slot re-attaches the rewound recorder explicitly.
+func (d *Driver) SetRecorder(r *trace.Recorder) { d.rec = r }
+
+// Recorder returns the driver's flight recorder (nil = tracing off).
+func (d *Driver) Recorder() *trace.Recorder { return d.rec }
+
 // Kernel returns the kernel the driver serves.
 func (d *Driver) Kernel() *kernel.Kernel { return d.k }
 
@@ -579,8 +596,33 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 		return fmt.Errorf("%w: %d bytes", ErrTransactionTooLarge, size)
 	}
 
+	rec := d.rec
+	var (
+		traced    bool
+		txStart   time.Duration
+		txTrace   trace.TraceID
+		txSpan    trace.SpanID
+		prevTrace trace.TraceID
+		prevSpan  trace.SpanID
+		prevUid   int32
+	)
+	if rec.Enabled() {
+		txStart = d.clock.Now()
+	}
+
 	d.clock.Advance(d.cfg.Latency.cost(size))
 	d.totalTx++
+	if rec.Enabled() && rec.SampleTx(d.totalTx) {
+		// The trace ID is a pure function of (device seed, transaction
+		// seq) — the determinism contract behind cross-worker
+		// byte-identical exports. Saving the previous context makes
+		// nested cross-process transactions link to their parent span
+		// and restore it on the way out.
+		traced = true
+		txTrace = rec.MintTrace(d.totalTx)
+		txSpan = rec.NextSpanID()
+		prevTrace, prevSpan, prevUid = rec.Context()
+	}
 	if d.txBytes != nil {
 		d.txBytes.Observe(float64(size))
 	}
@@ -646,6 +688,25 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 	if n.local.handler == nil {
 		return ErrUnknownTransaction
 	}
+	var (
+		handlerSpan trace.SpanID
+		tHandler    time.Duration
+	)
+	if traced {
+		// Dispatch span: latency charge, log write, node pinning —
+		// everything between the sender's call and the handler running.
+		// The handler span becomes the causal context, so JGR mutations
+		// and defender engagements made on this transaction's behalf
+		// attach beneath it.
+		tHandler = d.clock.Now()
+		rec.Emit(trace.SpanRecord{
+			Trace: txTrace, ID: rec.NextSpanID(), Parent: txSpan, Kind: trace.SpanDispatch,
+			Start: txStart, End: tHandler,
+			Pid: int32(from.Pid()), Uid: int32(from.Uid()), Code: uint32(code), Val: int64(size),
+		})
+		handlerSpan = rec.NextSpanID()
+		rec.SetContext(txTrace, handlerSpan, int32(from.Uid()))
+	}
 	// The handler runs inside a fresh JNI local frame: local references
 	// taken while unmarshalling are freed wholesale when the transaction
 	// returns — which is exactly why local references cannot be
@@ -664,6 +725,20 @@ func (d *Driver) transact(from *kernel.Process, n *node, code TxCode, data, repl
 	c.Target = n.local
 	err := n.local.handler.OnTransact(c)
 	recycleCall(c)
+	if traced {
+		tEnd := d.clock.Now()
+		rec.Emit(trace.SpanRecord{
+			Trace: txTrace, ID: handlerSpan, Parent: txSpan, Kind: trace.SpanHandler,
+			Start: tHandler, End: tEnd,
+			Pid: int32(n.owner.Pid()), Uid: int32(from.Uid()), Code: uint32(code),
+		})
+		rec.Emit(trace.SpanRecord{
+			Trace: txTrace, ID: txSpan, Parent: prevSpan, Kind: trace.SpanTransact,
+			Start: txStart, End: tEnd,
+			Pid: int32(from.Pid()), Uid: int32(from.Uid()), Code: uint32(code), Val: int64(size),
+		})
+		rec.SetContext(prevTrace, prevSpan, prevUid)
+	}
 	return err
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // benchRig builds a minimal logged two-process device for hot-path
@@ -108,6 +109,31 @@ func BenchmarkTransactLogged(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			r.floodOnce(b)
+		}
+	})
+	// The traced variant attaches a flight recorder sampling every
+	// transaction — the full span-mint + three-emit cost per call. The
+	// untraced sub-benchmarks above run with rec == nil, which is how
+	// make bench-smoke proves the tracing hook costs the off path
+	// nothing beyond a branch (gate: unbounded within 5% of the
+	// BENCH_hotpath.json baseline).
+	b.Run("traced", func(b *testing.B) {
+		r := newBenchRig(b, faults.Config{}, 1, nil)
+		r.d.SetRecorder(trace.NewRecorder(0, 0, 1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.floodOnce(b)
+			if r.d.PendingLogLen() >= 1<<15 {
+				b.StopTimer()
+				if _, err := r.d.FlushLog(); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.d.TruncateLog(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
 		}
 	})
 }

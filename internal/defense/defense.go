@@ -629,6 +629,33 @@ func (m *monitor) respond() {
 		End:    end,
 		Phases: phases,
 	})
+	// Flight-recorder spans for the engagement. respond() runs
+	// synchronously inside the AddGlobalRef that crossed the threshold,
+	// inside the service handler — so the recorder's live context IS the
+	// causal chain of the transaction that tripped the defender, and the
+	// window/score/decision spans attach under it.
+	if rec := d.dev.Recorder(); rec.Enabled() {
+		ctxTrace, ctxSpan, ctxUid := rec.Context()
+		pid := int32(m.proc.Pid())
+		win := rec.NextSpanID()
+		var topScore int64
+		if len(det.Scores) > 0 {
+			topScore = det.Scores[0].Score
+		}
+		rec.Emit(trace.SpanRecord{
+			Trace: ctxTrace, ID: win, Parent: ctxSpan, Kind: trace.SpanDefenderWindow,
+			Start: det.EngagedAt, End: end, Pid: pid, Uid: ctxUid, Val: int64(det.Records),
+		})
+		rec.Emit(trace.SpanRecord{
+			Trace: ctxTrace, ID: rec.NextSpanID(), Parent: win, Kind: trace.SpanScore,
+			Start: tCorrelate, End: tScore, Pid: pid, Uid: ctxUid, Val: topScore,
+		})
+		rec.Emit(trace.SpanRecord{
+			Trace: ctxTrace, ID: rec.NextSpanID(), Parent: win, Kind: trace.SpanDecision,
+			Start: tScore, End: end, Pid: pid, Uid: ctxUid, Val: int64(len(det.Killed)),
+		})
+		d.dev.DumpFlightRecorder("detection: " + det.Victim)
+	}
 
 	if d.OnDetection != nil {
 		d.OnDetection(det)

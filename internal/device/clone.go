@@ -45,6 +45,7 @@ type templateKey struct {
 	skipBaselineRefs  bool
 	universalQuota    int
 	installThirdParty bool
+	traceCfg          trace.Config
 }
 
 // templateKeyOf reduces cfg to its template key. Configurations carrying
@@ -67,6 +68,7 @@ func templateKeyOf(cfg Config) (templateKey, bool) {
 		skipBaselineRefs:  cfg.SkipBaselineRefs,
 		universalQuota:    cfg.UniversalQuota,
 		installThirdParty: cfg.InstallThirdPartyApps,
+		traceCfg:          cfg.Trace,
 	}, true
 }
 
@@ -111,6 +113,7 @@ func Template(cfg Config) (*Device, error) {
 	if cfg.BaselineProcesses == 0 {
 		cfg.BaselineProcesses = DefaultBaselineProcesses
 	}
+	applyCapture(&cfg)
 	key, cacheable := templateKeyOf(cfg)
 	if !cacheable {
 		return nil, nil
@@ -170,7 +173,9 @@ func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 			return nil, fmt.Errorf("device: recycling a sealed template")
 		}
 		// Harvest the retired clone's storage, rewound in place; the
-		// zeroing assignment below drops everything else.
+		// zeroing assignment below drops everything else. The trace
+		// capture, when active, drains the retiring trial's spans first.
+		retireCapture(nd)
 		hosts, svcMap, appSvcMap, handleIdx := nd.hosts, nd.services, nd.appServices, nd.handleIndex
 		clear(hosts)
 		clear(svcMap)
@@ -185,6 +190,7 @@ func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 			apps:        nd.apps,
 			appReg:      nd.appReg,
 			journal:     nd.journal,
+			rec:         nd.rec,
 			hosts:       hosts,
 			services:    svcMap,
 			appServices: appSvcMap,
@@ -199,6 +205,20 @@ func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 	nd.cfg.Seed = seed
 	nd.clock = simclock.New()
 	nd.clock.AdvanceTo(d.clock.Now())
+
+	// Flight recorder: the recycle path rewinds the harvested ring in
+	// place and re-keys the trace-ID mint; a cold clone allocates one.
+	// Either way the clone's span stream is a pure function of (cfg, seed)
+	// — what the cross-slot-mode byte-identity suite asserts.
+	if nd.cfg.Trace.Enabled {
+		if nd.rec != nil {
+			nd.rec.Reset(seed)
+		} else {
+			nd.rec = newRecorder(nd.cfg)
+		}
+	} else {
+		nd.rec = nil
+	}
 
 	userReboot := nd.cfg.Kernel.OnSystemServerDeath
 	nd.kern = d.kern.CloneReusing(nd.kern, nd.clock, func(reason string) {
@@ -232,6 +252,7 @@ func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 	// of the ~120 gauge registrations a boot pays eagerly.
 	dcfg.Metrics = nil
 	nd.driver = binder.NewReusing(nd.driver, nd.kern, dcfg)
+	nd.driver.SetRecorder(nd.rec)
 	nd.sm = d.sm.Clone(nd.driver)
 
 	if nd.perms == nil {
@@ -311,6 +332,8 @@ func (d *Device) cloneWithSeed(seed int64, prev *Device) (*Device, error) {
 
 	nd.bootCount = d.bootCount
 	nd.broadcastSeq = d.broadcastSeq
+	nd.attachTraceVMs()
+	registerCapture(nd)
 
 	if err := nd.kern.ProcFS().CreateProvider(MetricsPath, kernel.RootUid, false, func() []byte {
 		return nd.Metrics().RenderProm()

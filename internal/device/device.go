@@ -66,6 +66,10 @@ type Config struct {
 	// Google Play apps and publishes their services, so the pipeline's
 	// dynamic stage can verify them.
 	InstallThirdPartyApps bool
+	// Trace configures the causal flight recorder (see trace.Config). The
+	// zero value is off: no recorder is allocated and scenario output is
+	// byte-identical to a build without the tracing layer.
+	Trace trace.Config
 }
 
 // Fixed uids for the Table V apps (below the sequential installer range
@@ -139,6 +143,12 @@ type Device struct {
 	onReboot     []func(reason string)
 	journal      *trace.Journal
 
+	// rec is the causal flight recorder (nil = tracing off); flightDumps
+	// retains the most recent MaxFlightDumps snapshots (see flight.go).
+	rec              *trace.Recorder
+	flightDumps      []FlightDump
+	flightDumpsTotal int
+
 	// onServiceRestart observers fire after RestartHost/RestartAppService
 	// completes a re-registration; clientRetry, when non-zero, is applied
 	// to every client NewClient opens (the chaos sweeps set it so benign
@@ -208,8 +218,10 @@ func BootFresh(cfg Config) (*Device, error) {
 	if cfg.BaselineProcesses == 0 {
 		cfg.BaselineProcesses = DefaultBaselineProcesses
 	}
+	applyCapture(&cfg)
 	d := &Device{cfg: cfg}
 	d.clock = simclock.New()
+	d.rec = newRecorder(cfg)
 
 	kcfg := cfg.Kernel
 	userReboot := kcfg.OnSystemServerDeath
@@ -245,6 +257,7 @@ func BootFresh(cfg Config) (*Device, error) {
 		dcfg.Metrics = d.metrics
 	}
 	d.driver = binder.New(d.kern, dcfg)
+	d.driver.SetRecorder(d.rec)
 	d.sm = binder.NewServiceManager(d.driver)
 	d.perms = permissions.NewManager()
 	for p, l := range catalog.PermissionLevels {
@@ -265,6 +278,8 @@ func BootFresh(cfg Config) (*Device, error) {
 		}
 	}
 	d.spawnBaselineFillers()
+	d.attachTraceVMs()
+	registerCapture(d)
 	d.registerMetrics()
 	if err := d.kern.ProcFS().CreateProvider(MetricsPath, kernel.RootUid, false, d.metrics.RenderProm); err != nil {
 		return nil, err
@@ -446,6 +461,7 @@ func (d *Device) restartSystem(reason string) {
 		}
 	}
 	d.spawnBaselineFillers()
+	d.attachTraceVMs()
 	for _, fn := range d.onReboot {
 		fn(reason)
 	}
@@ -603,6 +619,9 @@ func (d *Device) RestartHost(name string) error {
 		d.handleIndex[d.driver.HandleOf(svc.Stub())] = handleEntry{kind: "system", sys: svc, name: meta.Name}
 	}
 	d.invalidateResolve()
+	if d.rec != nil {
+		host.VM().SetTraceRecorder(d.rec, int32(host.Pid()))
+	}
 	d.journal.Add(d.clock.Now(), trace.KindNote, name, "supervisor restart")
 	d.fireServiceRestart("host", name)
 	return nil

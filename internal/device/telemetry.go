@@ -104,6 +104,18 @@ func (d *Device) registerMetrics() {
 	reg.GaugeFunc("jgre_trace_dropped_total",
 		"Journal events discarded by capacity eviction.",
 		func() float64 { return float64(d.journal.Dropped()) })
+	// Flight-recorder gauges read 0 when tracing is off (nil recorder);
+	// jgre-top's TRACE panel renders them with an explicit placeholder
+	// when the family is absent entirely.
+	reg.GaugeFunc("jgre_trace_spans",
+		"Spans currently held by the causal flight recorder (0 when tracing is off).",
+		func() float64 { return float64(d.rec.Len()) })
+	reg.GaugeFunc("jgre_trace_span_drops_total",
+		"Flight-recorder spans overwritten by ring eviction.",
+		func() float64 { return float64(d.rec.Dropped()) })
+	reg.GaugeFunc("jgre_trace_flight_dumps_total",
+		"Flight-recorder dumps captured (detections, chaos crashes).",
+		func() float64 { return float64(d.flightDumpsTotal) })
 
 	// Per-process JGR and frame-churn series for the monitored hosts:
 	// system_server plus the dedicated service hosts (~10 processes, not

@@ -34,6 +34,21 @@ type Trial struct {
 	// how many scheduler events the trial ran.
 	PeakJGR int64
 	Steps   int64
+
+	// Causal tracing stats, populated by fillCausal only when the fleet
+	// runs with the flight recorder on (Config.Device.Trace.Enabled). A
+	// trial with TraceCausal carries the full forensic chain: first
+	// malicious transact → first attacker-attributed JGR add → defender
+	// window, in virtual milliseconds.
+	TraceCausal        bool
+	AttackToEvidenceMS int64
+	EvidenceToDetectMS int64
+	AttackToDetectMS   int64
+	// Attributed marks that the defender's kill list contained the
+	// attacker (per-uid attribution was accurate); SpansDropped is the
+	// recorder's ring-eviction count for this trial.
+	Attributed   bool
+	SpansDropped int64
 }
 
 // Dist is a fixed-bucket histogram with exact min/max/sum/count. Bounds
@@ -180,15 +195,27 @@ type Accumulator struct {
 	RecoverMS *Dist
 	PeakJGR   *Dist
 	Steps     *Dist
+
+	// Causal tracing aggregates (all zero when the fleet traced nothing,
+	// which is what keeps untraced envelopes unchanged).
+	TraceTrials        int64
+	Attributed         int64
+	SpansDropped       int64
+	AttackToEvidenceMS *Dist
+	EvidenceToDetectMS *Dist
+	AttackToDetectMS   *Dist
 }
 
 // NewAccumulator returns an empty rollup.
 func NewAccumulator() *Accumulator {
 	return &Accumulator{
-		DetectMS:  newDist(boundsMS),
-		RecoverMS: newDist(boundsMS),
-		PeakJGR:   newDist(boundsJGR),
-		Steps:     newDist(boundsSteps),
+		DetectMS:           newDist(boundsMS),
+		RecoverMS:          newDist(boundsMS),
+		PeakJGR:            newDist(boundsJGR),
+		Steps:              newDist(boundsSteps),
+		AttackToEvidenceMS: newDist(boundsMS),
+		EvidenceToDetectMS: newDist(boundsMS),
+		AttackToDetectMS:   newDist(boundsMS),
 	}
 }
 
@@ -213,6 +240,16 @@ func (a *Accumulator) Add(t Trial) {
 	a.ColludersCaught += int64(t.ColludersCaught)
 	a.PeakJGR.Observe(t.PeakJGR)
 	a.Steps.Observe(t.Steps)
+	if t.TraceCausal {
+		a.TraceTrials++
+		a.AttackToEvidenceMS.Observe(t.AttackToEvidenceMS)
+		a.EvidenceToDetectMS.Observe(t.EvidenceToDetectMS)
+		a.AttackToDetectMS.Observe(t.AttackToDetectMS)
+		if t.Attributed {
+			a.Attributed++
+		}
+	}
+	a.SpansDropped += t.SpansDropped
 }
 
 // Merge folds another accumulator in. The engine calls it in chunk-index
@@ -230,6 +267,12 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	a.RecoverMS.Merge(b.RecoverMS)
 	a.PeakJGR.Merge(b.PeakJGR)
 	a.Steps.Merge(b.Steps)
+	a.TraceTrials += b.TraceTrials
+	a.Attributed += b.Attributed
+	a.SpansDropped += b.SpansDropped
+	a.AttackToEvidenceMS.Merge(b.AttackToEvidenceMS)
+	a.EvidenceToDetectMS.Merge(b.EvidenceToDetectMS)
+	a.AttackToDetectMS.Merge(b.AttackToDetectMS)
 }
 
 // Result is the fleet-wide rollup — the envelope payload of the fleet-*
@@ -261,6 +304,26 @@ type Result struct {
 	TimeToRecoverMS Summary `json:"time_to_recover_ms"`
 	PeakJGR         Summary `json:"peak_jgr"`
 	Steps           Summary `json:"steps"`
+
+	// Trace is the forensic rollup of causal tracing stats. It is present
+	// only when the fleet ran with the flight recorder on, so tracing-off
+	// envelopes are byte-identical to builds without the tracing layer.
+	Trace *TraceRollup `json:"trace,omitempty"`
+}
+
+// TraceRollup aggregates the causal latencies the flight recorder
+// measured across the fleet: how long the first malicious transaction
+// took to leave JGR evidence, how long that evidence sat before the
+// defender engaged, per-uid attribution accuracy, and the fleet-wide
+// spans-dropped counter (no silent caps).
+type TraceRollup struct {
+	Trials             int64   `json:"trials"`
+	Attributed         int64   `json:"attributed"`
+	AttributionRate    float64 `json:"attribution_rate"`
+	SpansDropped       int64   `json:"spans_dropped"`
+	AttackToEvidenceMS Summary `json:"attack_to_evidence_ms"`
+	EvidenceToDetectMS Summary `json:"evidence_to_detect_ms"`
+	AttackToDetectMS   Summary `json:"attack_to_detect_ms"`
 }
 
 // FleetDevices reports the fleet width for the envelope's fleet_devices
@@ -293,6 +356,20 @@ func (a *Accumulator) result(workload string, devices, chunkSize int, seed int64
 	}
 	if clean := a.Devices - a.Infected; clean > 0 {
 		r.FalseAlarmRate = float64(a.FalseAlarms) / float64(clean)
+	}
+	if a.TraceTrials > 0 || a.SpansDropped > 0 {
+		tr := &TraceRollup{
+			Trials:             a.TraceTrials,
+			Attributed:         a.Attributed,
+			SpansDropped:       a.SpansDropped,
+			AttackToEvidenceMS: a.AttackToEvidenceMS.summarize(),
+			EvidenceToDetectMS: a.EvidenceToDetectMS.summarize(),
+			AttackToDetectMS:   a.AttackToDetectMS.summarize(),
+		}
+		if a.TraceTrials > 0 {
+			tr.AttributionRate = float64(a.Attributed) / float64(a.TraceTrials)
+		}
+		r.Trace = tr
 	}
 	return r
 }

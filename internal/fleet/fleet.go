@@ -23,6 +23,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Mode selects how a slot produces the next trial's device. The result
@@ -87,6 +88,28 @@ type Config struct {
 type Workload struct {
 	Name string
 	Run  func(dev *device.Device, index int, seed int64) (Trial, error)
+}
+
+// WithTraceCapture wraps the workload so fn receives each trial's
+// flight-recorder snapshot (with the device's pid display names) after
+// the trial completes and before the slot is rewound. The snapshot is
+// keyed by device index — a pure function of (fleet seed, index) —
+// which is what lets callers merge per-device traces into a byte-
+// identical export regardless of worker count or slot mode. fn runs on
+// worker goroutines and must be safe for concurrent calls; it is not
+// called for trials where tracing is off or Run failed.
+func (w Workload) WithTraceCapture(fn func(index int, spans []trace.SpanRecord, names map[int32]string)) Workload {
+	inner := w.Run
+	w.Run = func(dev *device.Device, index int, seed int64) (Trial, error) {
+		t, err := inner(dev, index, seed)
+		if err == nil {
+			if rec := dev.Recorder(); rec.Enabled() {
+				fn(index, rec.Spans(), dev.ProcNames())
+			}
+		}
+		return t, err
+	}
+	return w
 }
 
 // DeviceSeed derives the per-device boot seed from the fleet seed and

@@ -15,6 +15,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/defense"
 	"repro/internal/device"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -133,6 +134,7 @@ func AttackRollout(devices int) Workload {
 				return Trial{}, err
 			}
 			var evil string
+			var evilUids []int32
 			if infected {
 				app, err := dev.Apps().Install("com.evil.app")
 				if err != nil {
@@ -144,6 +146,7 @@ func AttackRollout(devices int) Workload {
 					return Trial{}, err
 				}
 				evil = app.Package()
+				evilUids = []int32{int32(app.Uid())}
 				sched.Add(atk)
 			}
 			var steps int
@@ -156,6 +159,7 @@ func AttackRollout(devices int) Workload {
 			t := Trial{Infected: infected, Steps: int64(steps)}
 			fillDetection(&t, def, func(pkg string) bool { return pkg == evil })
 			t.PeakJGR = int64(dev.Stats().SystemServerPeakJGR)
+			fillCausal(&t, dev, evilUids, t.ColludersCaught > 0)
 			return t, nil
 		},
 	}
@@ -186,6 +190,7 @@ func Colluders() Workload {
 				return Trial{}, err
 			}
 			var steps int
+			var evilUids []int32
 			if cell {
 				for j, tgt := range targets {
 					app, err := dev.Apps().Install(fmt.Sprintf("com.collude.app%d", j))
@@ -197,6 +202,7 @@ func Colluders() Workload {
 					if err != nil {
 						return Trial{}, err
 					}
+					evilUids = append(evilUids, int32(app.Uid()))
 					sched.Add(atk)
 				}
 				chatty, err := dev.Apps().Install("com.chatty.bystander")
@@ -217,9 +223,60 @@ func Colluders() Workload {
 			t := Trial{Infected: cell, Steps: int64(steps)}
 			fillDetection(&t, def, func(pkg string) bool { return strings.HasPrefix(pkg, "com.collude.") })
 			t.PeakJGR = int64(dev.Stats().SystemServerPeakJGR)
+			fillCausal(&t, dev, evilUids, t.ColludersCaught > 0)
 			return t, nil
 		},
 	}
+}
+
+// fillCausal derives the trial's causal-tracing stats from the device's
+// flight recorder: the first malicious binder transaction (a transact
+// span carrying an attacker uid), the first attacker-attributed JGR add,
+// and the first defender engagement window. No-op (all fields zero) when
+// tracing is off, so untraced fleet envelopes are unchanged. Ring
+// eviction can lose the chain's head; the trial only claims TraceCausal
+// when the full ordered chain survived.
+func fillCausal(t *Trial, dev *device.Device, attackerUids []int32, attributed bool) {
+	rec := dev.Recorder()
+	if !rec.Enabled() {
+		return
+	}
+	t.SpansDropped = int64(rec.Dropped())
+	evilUid := func(uid int32) bool {
+		for _, u := range attackerUids {
+			if u == uid {
+				return true
+			}
+		}
+		return false
+	}
+	const unset = time.Duration(-1)
+	firstTx, firstEv, firstWin := unset, unset, unset
+	for _, s := range rec.Spans() {
+		switch s.Kind {
+		case trace.SpanTransact:
+			if firstTx == unset && evilUid(s.Uid) {
+				firstTx = s.Start
+			}
+		case trace.SpanJGRAdd:
+			if firstEv == unset && evilUid(s.Uid) {
+				firstEv = s.Start
+			}
+		case trace.SpanDefenderWindow:
+			if firstWin == unset {
+				firstWin = s.Start
+			}
+		}
+	}
+	if firstTx == unset || firstEv == unset || firstWin == unset ||
+		firstEv < firstTx || firstWin < firstEv {
+		return
+	}
+	t.TraceCausal = true
+	t.AttackToEvidenceMS = int64((firstEv - firstTx) / time.Millisecond)
+	t.EvidenceToDetectMS = int64((firstWin - firstEv) / time.Millisecond)
+	t.AttackToDetectMS = int64((firstWin - firstTx) / time.Millisecond)
+	t.Attributed = attributed
 }
 
 // fillDetection folds the defender's first engagement into the trial:

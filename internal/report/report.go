@@ -16,6 +16,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 )
 
 // Input bundles everything a report can cover. Any field may be left
@@ -32,6 +33,10 @@ type Input struct {
 	// counters (records generated vs. lost to drops, ring eviction and
 	// failed reads) — the evidence-pipeline integrity behind Detections.
 	Telemetry *device.Stats
+	// FleetForensics optionally includes a traced fleet run's causal
+	// rollup: attack→evidence→detection latency distributions and per-uid
+	// attribution accuracy from the flight recorders.
+	FleetForensics *fleet.Result
 	// Thresholds optionally includes the alarm/engage ablation table.
 	Thresholds []experiments.ThresholdRow
 	// Patch optionally includes the §IV-B universal-quota counterfactual.
@@ -72,10 +77,19 @@ func Write(w io.Writer, in Input) error {
 		p("| Failed log reads | %d |\n", s.IPCLogReadErrors)
 		p("| Binder transactions total | %d |\n", s.Transactions)
 		p("| Trace-journal events evicted | %d |\n", s.TraceDropped)
+		if s.TraceSpans > 0 || s.TraceSpanDrops > 0 || s.FlightDumps > 0 {
+			p("| Flight-recorder spans held | %d |\n", s.TraceSpans)
+			p("| Flight-recorder spans evicted | %d |\n", s.TraceSpanDrops)
+			p("| Flight-recorder dumps | %d |\n", s.FlightDumps)
+		}
 		p("\n")
 		if s.TraceDropped > 0 {
 			p("> %d journal events were evicted by the bounded trace ring: the forensic\n", s.TraceDropped)
 			p("> timeline in this report is incomplete.\n\n")
+		}
+		if s.TraceSpanDrops > 0 {
+			p("> %d causal spans were evicted from the bounded flight-recorder ring:\n", s.TraceSpanDrops)
+			p("> span chains in the trace export may be missing their oldest links.\n\n")
 		}
 		if h := s.Defender; h != nil {
 			p("### Defender health\n\n")
@@ -88,6 +102,9 @@ func Write(w io.Writer, in Input) error {
 			p("| Innocent-kill guard stops (cumulative) | %d |\n", h.GuardStops)
 			p("\n")
 		}
+	}
+	if in.FleetForensics != nil {
+		writeFleetForensics(p, in.FleetForensics)
 	}
 	if len(in.Thresholds) > 0 {
 		p("## Defender threshold ablation\n\n")
@@ -175,6 +192,42 @@ func writePipeline(p func(string, ...interface{}), res *analysis.PipelineResult)
 		p("- `%s.%s` — %s\n", rej.Service, rej.Method, rej.Reason)
 	}
 	p("\n")
+}
+
+// writeFleetForensics renders a traced fleet run's causal rollup. An
+// untraced fleet result (Trace == nil) renders an explicit note rather
+// than nothing, so a report generated without -trace says why the
+// forensic tables are absent.
+func writeFleetForensics(p func(string, ...interface{}), r *fleet.Result) {
+	p("## Fleet causal forensics\n\n")
+	p("Workload `%s`, %d devices (seed %d).\n\n", r.Workload, r.Devices, r.Seed)
+	t := r.Trace
+	if t == nil {
+		p("> Flight recorders were off for this fleet run; rerun with tracing\n")
+		p("> enabled to populate the causal latency tables.\n\n")
+		return
+	}
+	p("| Indicator | Value |\n|---|---|\n")
+	p("| Trials with a complete causal chain | %d |\n", t.Trials)
+	p("| Attacker attributed by defender kill list | %d (%.1f%%) |\n", t.Attributed, 100*t.AttributionRate)
+	p("| Flight-recorder spans evicted fleet-wide | %d |\n", t.SpansDropped)
+	p("\n")
+	p("| Causal latency (virtual ms) | p50 | p90 | p99 | max |\n|---|---|---|---|---|\n")
+	lat := func(name string, s fleet.Summary) {
+		if s.Count == 0 {
+			p("| %s | (no samples) | | | |\n", name)
+			return
+		}
+		p("| %s | %d | %d | %d | %d |\n", name, s.P50, s.P90, s.P99, s.Max)
+	}
+	lat("first malicious transact → first JGR evidence", t.AttackToEvidenceMS)
+	lat("first JGR evidence → defender engagement", t.EvidenceToDetectMS)
+	lat("first malicious transact → defender engagement", t.AttackToDetectMS)
+	p("\n")
+	if t.SpansDropped > 0 {
+		p("> Ring eviction dropped %d spans across the fleet; trials whose chain\n", t.SpansDropped)
+		p("> head was evicted are excluded from the latency tables above.\n\n")
+	}
 }
 
 func writeDetections(p func(string, ...interface{}), dets []defense.Detection) {

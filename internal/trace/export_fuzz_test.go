@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// spansFromBytes deterministically decodes arbitrary fuzz input into a
+// slice of span records: 44 bytes per record, fields read little-endian
+// with no rejection — every input maps to some span set, so coverage
+// explores the exporter rather than a parser.
+func spansFromBytes(data []byte) []SpanRecord {
+	const stride = 44
+	var out []SpanRecord
+	for len(data) >= stride && len(out) < 256 {
+		rec := SpanRecord{
+			Trace:  TraceID(binary.LittleEndian.Uint64(data[0:])),
+			ID:     SpanID(binary.LittleEndian.Uint64(data[8:])),
+			Parent: SpanID(binary.LittleEndian.Uint64(data[16:])),
+			Start:  time.Duration(int64(binary.LittleEndian.Uint32(data[24:]))),
+			End:    time.Duration(int64(binary.LittleEndian.Uint32(data[28:]))),
+			Pid:    int32(binary.LittleEndian.Uint32(data[32:])),
+			Uid:    int32(binary.LittleEndian.Uint32(data[36:])),
+			Kind:   SpanKind(data[40]),
+			Code:   uint32(data[41]),
+			Val:    int64(int16(binary.LittleEndian.Uint16(data[42:]))),
+		}
+		out = append(out, rec)
+		data = data[stride:]
+	}
+	return out
+}
+
+// FuzzTraceExport asserts the exporter's safety contract over arbitrary
+// span records — including unknown kinds, End < Start, negative pids and
+// colliding IDs: ExportChrome never panics, never errors on an in-memory
+// writer, always emits schema-valid trace-event JSON, and is a pure
+// function of the span set (same input bytes, same output bytes).
+func FuzzTraceExport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0}, 44))
+	f.Add(bytes.Repeat([]byte{0xff}, 89))
+	// One well-formed chain as a seed: a transact span plus a JGR add.
+	seed := make([]byte, 88)
+	binary.LittleEndian.PutUint64(seed[0:], 0xabc)  // Trace
+	binary.LittleEndian.PutUint64(seed[8:], 1)      // ID
+	binary.LittleEndian.PutUint32(seed[24:], 1000)  // Start
+	binary.LittleEndian.PutUint32(seed[28:], 2000)  // End
+	binary.LittleEndian.PutUint32(seed[32:], 10061) // Pid
+	seed[40] = byte(SpanTransact)
+	binary.LittleEndian.PutUint64(seed[44:], 0xabc)
+	binary.LittleEndian.PutUint64(seed[52:], 2)
+	binary.LittleEndian.PutUint64(seed[60:], 1) // Parent
+	binary.LittleEndian.PutUint32(seed[68:], 1500)
+	binary.LittleEndian.PutUint32(seed[72:], 1500)
+	binary.LittleEndian.PutUint32(seed[76:], 901)
+	seed[84] = byte(SpanJGRAdd)
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans := spansFromBytes(data)
+		names := map[int32]string{901: "system_server"}
+		var buf bytes.Buffer
+		if err := ExportChrome(&buf, spans, names); err != nil {
+			t.Fatalf("ExportChrome errored on in-memory writer: %v", err)
+		}
+		if err := ValidateChrome(buf.Bytes()); err != nil {
+			t.Fatalf("export failed schema validation: %v\n%s", err, buf.Bytes())
+		}
+		var again bytes.Buffer
+		if err := ExportChrome(&again, spans, names); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatal("export is not deterministic for equal input")
+		}
+	})
+}

@@ -143,6 +143,54 @@ func (j *Journal) AddSpan(s Span) {
 	j.Record(Event{T: s.Start, Kind: KindSpan, Subject: s.Name, Detail: s.Detail()})
 }
 
+// ParseSpanDetail reconstructs a Span from a KindSpan journal event —
+// the inverse of AddSpan's Detail encoding. The event's timestamp is the
+// span's start; "dur=" fixes the extent; the remaining key=value pairs
+// become the ordered phase breakdown.
+func ParseSpanDetail(ev Event) (Span, error) {
+	if ev.Kind != KindSpan {
+		return Span{}, fmt.Errorf("trace: ParseSpanDetail on %s event", ev.Kind)
+	}
+	s := Span{Name: ev.Subject, Start: ev.T, End: ev.T}
+	rest := ev.Detail
+	for rest != "" {
+		field := rest
+		if i := indexByte(rest, ' '); i >= 0 {
+			field, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if field == "" {
+			continue
+		}
+		eq := indexByte(field, '=')
+		if eq <= 0 {
+			return Span{}, fmt.Errorf("trace: malformed span field %q", field)
+		}
+		key, val := field[:eq], field[eq+1:]
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return Span{}, fmt.Errorf("trace: span field %q: %w", field, err)
+		}
+		if key == "dur" {
+			s.End = s.Start + d
+			continue
+		}
+		s.Phases = append(s.Phases, Phase{Name: key, D: d})
+	}
+	return s, nil
+}
+
+// indexByte avoids importing strings for two single-byte scans.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
 // Spans returns the journal's span events (in order); a convenience
 // over Filter(KindSpan) for trace consumers.
 func (j *Journal) Spans() []Event { return j.Filter(KindSpan) }
